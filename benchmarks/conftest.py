@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+The benchmarks re-run every table/figure of the paper's evaluation.
+To keep the full suite under a few minutes they default to a coarse
+load grid and short simulation horizons; pass ``--full-repro`` for the
+fine grid used in EXPERIMENTS.md.
+"""
+
+import pytest
+
+COARSE_LOADS = (0.1, 0.4, 0.7, 1.0)
+FULL_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+COARSE_DURATION_MS = 5000.0
+FULL_DURATION_MS = 12000.0
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-repro",
+        action="store_true",
+        default=False,
+        help="use the paper's full 10-point load grid and longer horizons",
+    )
+
+
+@pytest.fixture(scope="session")
+def loads(request):
+    return FULL_LOADS if request.config.getoption("--full-repro") else COARSE_LOADS
+
+
+@pytest.fixture(scope="session")
+def duration_ms(request):
+    if request.config.getoption("--full-repro"):
+        return FULL_DURATION_MS
+    return COARSE_DURATION_MS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

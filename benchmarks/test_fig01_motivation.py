@@ -1,0 +1,49 @@
+"""Fig. 1 — motivation study (ASR on Setting-I).
+
+Shape assertions vs the paper:
+* tail latency is a hockey stick: each system's p99 at full load is
+  several times its low-load p99;
+* Heter-Poly sustains the highest RPS under the 200 ms bound
+  (paper: 96 vs 74 vs 68);
+* Heter-Poly has the best energy proportionality (paper: 0.92 vs
+  0.68 / 0.63) and the lowest low-load power;
+* each kernel's design space has a non-trivial Pareto frontier.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig01
+
+
+def test_fig01_motivation(benchmark, loads, duration_ms):
+    data = run_once(benchmark, fig01.run, loads=loads, duration_ms=duration_ms)
+    print("\n" + fig01.render(data))
+
+    max_rps = data["max_rps"]
+    assert max_rps["Heter-Poly"] >= max_rps["Homo-GPU"]
+    assert max_rps["Heter-Poly"] >= max_rps["Homo-FPGA"]
+    assert max_rps["Heter-Poly"] > 0
+
+    ep = data["energy_proportionality"]
+    assert ep["Heter-Poly"] > ep["Homo-GPU"]
+    assert ep["Heter-Poly"] > ep["Homo-FPGA"]
+
+    # Hockey stick: saturated latency far above low-load latency.
+    for name, curve in data["latency_vs_rps"].items():
+        low, high = curve[0][1], curve[-1][1]
+        assert high > 2.0 * low, f"{name} shows no saturation knee"
+
+    # Low-load power: Poly idles lowest (DVFS + low-power bitstreams).
+    low_power = {
+        name: curve[0][1] for name, curve in data["power_vs_load"].items()
+    }
+    assert low_power["Heter-Poly"] < low_power["Homo-GPU"]
+    assert low_power["Heter-Poly"] < low_power["Homo-FPGA"]
+
+    # Design-space panel: a real latency/power trade-off exists.
+    for platform, frontier in data["lstm_pareto"].items():
+        assert len(frontier) >= 2, f"degenerate Pareto frontier on {platform}"
+        lats = [p[0] for p in frontier]
+        pows = [p[1] for p in frontier]
+        assert lats == sorted(lats)
+        assert pows == sorted(pows, reverse=True)

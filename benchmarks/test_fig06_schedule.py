@@ -1,0 +1,46 @@
+"""Fig. 6 — the two-step runtime schedule of ASR.
+
+Shape assertions vs the paper's worked example:
+* Step 1 meets the 200 ms bound with room to spare (latency slack);
+* Step 2 accepts at least one implementation swap, saves energy, and
+  never violates the bound;
+* the final schedule respects the DAG's two execution paths merging at
+  the output kernel.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig06
+
+
+def test_fig06_schedule(benchmark):
+    data = run_once(benchmark, fig06.run)
+    print("\n" + fig06.render(data))
+
+    step1, final = data["step1"], data["final"]
+    bound = data["latency_bound_ms"]
+
+    assert step1.makespan_ms <= bound
+    assert data["slack_after_step1_ms"] > 0
+
+    # Step 2 trades slack for energy without violating the bound.
+    assert final.makespan_ms <= bound
+    assert final.total_energy_mj <= step1.total_energy_mj
+    assert data["energy_steps"], "no energy swap was profitable"
+    assert data["energy_saved_mj"] > 0
+
+    # Every accepted swap kept the bound (recorded makespans).
+    for step in data["energy_steps"]:
+        assert step.makespan_ms <= bound
+        assert step.energy_saved_mj > 0
+
+    # The ASR DAG has the two paths of Fig. 6 (K1=>K4, K2=>K3=>K4).
+    paths = data["paths"]
+    assert len(paths) == 2
+    assert sorted(len(p) for p in paths) == [2, 3]
+
+    # Precedence is respected in the final timetable.
+    a = final.assignments
+    assert a["FC_output"].start_ms >= a["LSTM_acoustic"].end_ms - 1e-6
+    assert a["FC_output"].start_ms >= a["LSTM_language"].end_ms - 1e-6
+    assert a["LSTM_language"].start_ms >= a["FC_embed"].end_ms - 1e-6

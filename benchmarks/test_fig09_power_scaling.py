@@ -1,0 +1,38 @@
+"""Fig. 9 — power-scaling trends vs load (ASR, FQT, IR).
+
+Shape assertions vs the paper:
+* every system's power grows with load;
+* Heter-Poly's curve is closest to the ideal energy-proportional line
+  (smallest mean gap) and has the lowest idle-end power;
+* the baselines' low-load power is far above ideal (their idle floor).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09
+from repro.experiments.fig09 import normalized_gap
+
+
+def test_fig09_power_scaling(benchmark, loads, duration_ms):
+    data = run_once(benchmark, fig09.run, loads=loads, duration_ms=duration_ms)
+    print("\n" + fig09.render(data))
+
+    for app_name, curves in data.items():
+        gaps = {
+            name: normalized_gap(curve)
+            for name, curve in curves.items()
+            if name != "ideal"
+        }
+        assert gaps["Heter-Poly"] <= gaps["Homo-GPU"], app_name
+        assert gaps["Heter-Poly"] <= gaps["Homo-FPGA"], app_name
+
+        for name, curve in curves.items():
+            if name == "ideal":
+                continue
+            # Monotone-ish growth: full-load power above low-load power.
+            assert curve[-1][1] > curve[0][1] * 1.02, (app_name, name)
+
+        # Idle-end ordering: Poly lowest (DVFS + low-power bitstreams).
+        low = {n: c[0][1] for n, c in curves.items() if n != "ideal"}
+        assert low["Heter-Poly"] < low["Homo-GPU"], app_name
+        assert low["Heter-Poly"] < low["Homo-FPGA"], app_name

@@ -1,0 +1,29 @@
+"""Fig. 10 — energy-proportionality comparison across all benchmarks.
+
+Shape assertions vs the paper:
+* Heter-Poly has the best EP on every benchmark;
+* its average EP gain is substantial (paper: +0.23 vs Homo-GPU and
+  +0.17 vs Homo-FPGA on the [0,1] EP scale);
+* Heter-Poly's average EP approaches the ideal (paper: 0.92).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_energy_proportionality(benchmark, loads, duration_ms):
+    data = run_once(benchmark, fig10.run, loads=loads, duration_ms=duration_ms)
+    print("\n" + fig10.render(data))
+
+    apps = [k for k in data["Heter-Poly"] if k != "avg"]
+    for app_name in apps:
+        poly = data["Heter-Poly"][app_name]
+        assert poly >= data["Homo-GPU"][app_name] - 0.02, app_name
+        assert poly >= data["Homo-FPGA"][app_name] - 0.02, app_name
+        assert poly <= 1.0 + 1e-9
+
+    imp = fig10.improvement_summary(data)
+    assert imp["vs_homo_gpu"] > 0.08
+    assert imp["vs_homo_fpga"] > 0.05
+    assert data["Heter-Poly"]["avg"] > 0.55

@@ -1,0 +1,34 @@
+"""Fig. 11 — the 24-hour utilization trace.
+
+Shape assertions vs the published Google-cluster characteristics:
+* mean utilization in the under-provisioned band the paper leans on
+  (datacenters run well below saturation);
+* a visible diurnal swing (peak hours well above trough hours);
+* bursts exist (p95 clearly above the mean) but the trace stays in
+  [0, 1].
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_trace(benchmark):
+    data = run_once(benchmark, fig11.run)
+    print("\n" + fig11.render(data))
+
+    assert 0.2 <= data["mean"] <= 0.6
+    assert 0.0 <= data["min"] and data["max"] <= 1.0
+    assert data["p95"] > data["mean"] * 1.15
+
+    # Diurnal swing: best hour vs worst hour differ substantially.
+    series = data["series"]
+    hours = {}
+    for hour, util in series:
+        hours.setdefault(int(hour), []).append(util)
+    hourly = {h: sum(v) / len(v) for h, v in hours.items()}
+    assert len(hourly) == 24
+    assert max(hourly.values()) > 1.5 * min(hourly.values())
+
+    # 24 h at 5-minute granularity.
+    assert len(series) == 24 * 12

@@ -1,0 +1,41 @@
+"""Fig. 12 — trace-driven power savings and QoS violations.
+
+Shape assertions vs the paper:
+* Homo-GPU consumes the most energy over the day; Heter-Poly the least
+  ("Homo-GPU generally consumes the highest power for almost every
+  time interval");
+* Heter-Poly's p99 stays under the 200 ms target with a (near-)zero
+  violation ratio;
+* Heter-Poly's violation ratio is no worse than the baselines'.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_power_savings(benchmark):
+    data = run_once(benchmark, fig12.run)
+    print("\n" + fig12.render(data))
+
+    gpu, fpga, poly = (
+        data["Homo-GPU"],
+        data["Homo-FPGA"],
+        data["Heter-Poly"],
+    )
+
+    assert poly["energy_j"] < fpga["energy_j"] < gpu["energy_j"]
+    assert data["summary"]["poly_saving_vs_gpu"] > 0.15
+    assert data["summary"]["poly_saving_vs_fpga"] > 0.05
+
+    # QoS under the diurnal trace: Poly holds the tail.
+    assert poly["p99_ms"] <= 200.0
+    assert poly["violations"] <= 0.01
+    assert poly["violations"] <= gpu["violations"] + 1e-9
+    assert poly["violations"] <= fpga["violations"] + 1e-9
+
+    # Power tracks load: the per-interval series is not flat.
+    import numpy as np
+
+    series = np.asarray(poly["power_series_w"])
+    assert series.std() > 2.0

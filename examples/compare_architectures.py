@@ -1,0 +1,67 @@
+"""Compare the three Table-III architectures on one benchmark.
+
+Reproduces the core of the paper's static evaluation for a chosen
+benchmark: sweeps the load, prints the tail-latency curve, the maximum
+QoS-compliant throughput, and the energy proportionality of Homo-GPU,
+Homo-FPGA and Heter-Poly.
+
+Usage::
+
+    python examples/compare_architectures.py [APP] [SETTING]
+
+    APP     one of ASR FQT IR CS MF WT (default FQT)
+    SETTING one of I II III            (default I)
+"""
+
+import sys
+
+from repro import apps, runtime
+from repro.experiments.harness import PEAK_RPS
+
+
+def main(app_name: str = "FQT", setting_number: str = "I") -> None:
+    app = apps.build(app_name)
+    loads = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)
+
+    print(f"== {app.full_name} ({app.name}), Setting-{setting_number}, "
+          f"QoS {app.qos_ms:.0f} ms ==\n")
+    header = "system      " + "".join(f"{int(l*100):>7d}%" for l in loads)
+    print("p99 tail latency (ms) per load level:")
+    print(header)
+
+    summary = {}
+    for sys_name in ("Homo-GPU", "Homo-FPGA", "Heter-Poly"):
+        system = runtime.setting(setting_number, sys_name)
+        spaces = app.explore(system.platforms)
+        p99s, powers = [], []
+        for load in loads:
+            arrivals = runtime.poisson_arrivals(load * PEAK_RPS, 8000.0)
+            result = runtime.run_simulation(system, app, spaces, arrivals)
+            p99s.append(result.p99_ms)
+            powers.append(result.avg_power_w)
+        knee = runtime.max_throughput_under_qos(
+            [l * PEAK_RPS for l in loads], p99s, app.qos_ms
+        )
+        ep = runtime.energy_proportionality(loads, powers)
+        summary[sys_name] = (knee, ep, powers[0])
+        print(f"{sys_name:11s} " + "".join(f"{p:8.0f}" for p in p99s))
+
+    print("\nsummary:")
+    print(f"{'system':11s} {'max RPS':>8s} {'EP':>6s} {'idle-ish W':>11s}")
+    for sys_name, (knee, ep, low_power) in summary.items():
+        print(f"{sys_name:11s} {knee:8.0f} {ep:6.2f} {low_power:11.0f}")
+
+    poly_knee = summary["Heter-Poly"][0]
+    best_base = max(summary["Homo-GPU"][0], summary["Homo-FPGA"][0])
+    if best_base > 0:
+        print(
+            f"\nHeter-Poly sustains {poly_knee/best_base:.2f}x the best "
+            "homogeneous baseline under the QoS bound."
+        )
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "FQT",
+        sys.argv[2] if len(sys.argv) > 2 else "I",
+    )

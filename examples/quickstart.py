@@ -1,0 +1,63 @@
+"""Quickstart: explore, schedule and serve the ASR benchmark.
+
+Runs the full Poly pipeline on the paper's motivating application:
+
+1. offline DSE for every ASR kernel on the Heter-Poly platforms;
+2. the two-step runtime schedule of one request (Fig. 6);
+3. a short request-level simulation against the 200 ms QoS bound.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import apps, runtime
+from repro.scheduler import DeviceSlot, PolyScheduler
+
+
+def main() -> None:
+    app = apps.build("ASR")
+    system = runtime.setting("I", "Heter-Poly")
+    print(f"application : {app}")
+    print(f"system      : {system}")
+
+    # 1. Offline kernel analysis + design space exploration.
+    print("\n-- offline DSE --")
+    spaces = app.explore(system.platforms)
+    for kernel in app.kernels:
+        for spec in system.platforms:
+            space = spaces[(kernel.name, spec.name)]
+            fastest = space.min_latency()
+            greenest = space.max_efficiency()
+            print(
+                f"{kernel.name:15s} on {spec.name[:24]:24s} "
+                f"{len(space):4d} designs, fastest {fastest.latency_ms:6.1f} ms, "
+                f"most efficient {greenest.latency_ms:6.1f} ms @ "
+                f"{greenest.power_w:5.1f} W"
+            )
+
+    # 2. Two-step runtime scheduling of a single request.
+    print("\n-- two-step schedule (Fig. 6) --")
+    devices = [
+        DeviceSlot(device_id, spec.name, spec.device_type)
+        for device_id, spec in system.device_inventory()
+    ]
+    scheduler = PolyScheduler(spaces, app.qos_ms)
+    schedule, swaps = scheduler.schedule(app.graph, devices)
+    print(schedule.gantt())
+    for swap in swaps:
+        print(f"  energy swap: {swap!r}")
+
+    # 3. Serve a Poisson request stream and check the tail.
+    print("\n-- simulation --")
+    arrivals = runtime.poisson_arrivals(rps=30.0, duration_ms=10_000.0)
+    result = runtime.run_simulation(system, app, spaces, arrivals)
+    print(f"served {len(result.requests)} requests at ~30 RPS")
+    print(f"p99 tail latency : {result.p99_ms:7.1f} ms (bound {app.qos_ms:.0f} ms)")
+    print(f"mean latency     : {result.mean_latency_ms:7.1f} ms")
+    print(f"average power    : {result.avg_power_w:7.1f} W")
+    print(f"QoS violations   : {result.qos_violations(app.qos_ms)*100:6.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Replay a 24-hour datacenter trace (the Fig. 11/12 study).
+
+Synthesizes a Google-cluster-style diurnal utilization trace, replays
+it (time-compressed) against all three Setting-I architectures running
+ASR, and prints the per-system power, energy and QoS outcomes plus an
+hourly power profile.
+
+Usage::
+
+    python examples/trace_replay.py
+"""
+
+import numpy as np
+
+from repro import apps, runtime
+
+
+def main() -> None:
+    trace = runtime.synthesize_google_trace()
+    print(
+        f"trace: {len(trace.utilization)} x {trace.interval_s:.0f} s intervals, "
+        f"mean utilization {trace.mean_utilization:.2f}"
+    )
+
+    app = apps.build("ASR")
+    compress = 24  # simulate each 5-minute interval for 12.5 s
+    interval_ms = trace.interval_s * 1000.0 / compress
+    peak_rps = 30.0
+
+    results = {}
+    for sys_name in ("Homo-GPU", "Homo-FPGA", "Heter-Poly"):
+        system = runtime.setting("I", sys_name)
+        spaces = app.explore(system.platforms)
+        arrivals = runtime.trace_arrivals(trace.utilization, interval_ms, peak_rps)
+        results[sys_name] = runtime.run_simulation(
+            system, app, spaces, arrivals, bin_ms=interval_ms, warmup_frac=0.02
+        )
+
+    print(f"\n{'system':11s} {'avg W':>7s} {'energy kJ':>10s} {'p99 ms':>8s} {'violations':>11s}")
+    for name, r in results.items():
+        print(
+            f"{name:11s} {r.avg_power_w:7.0f} {r.energy_j/1000:10.1f} "
+            f"{r.p99_ms:8.0f} {r.qos_violations(app.qos_ms)*100:10.2f}%"
+        )
+
+    poly = results["Heter-Poly"]
+    for base in ("Homo-GPU", "Homo-FPGA"):
+        saving = 1.0 - poly.energy_j / results[base].energy_j
+        print(f"Heter-Poly energy saving vs {base}: {saving*100:.0f}%")
+
+    # Hourly power profile of the Poly system.
+    print("\nHeter-Poly hourly power profile:")
+    bins = np.asarray(poly.power_bins_w)
+    per_hour = bins[: 288].reshape(24, 12).mean(axis=1)
+    for hour, watts in enumerate(per_hour):
+        print(f"  {hour:02d}:00  {watts:6.0f} W  " + "#" * int(watts / 5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a full reproduction of *Poly: Efficient Heterogeneous System
+and Application Management for Interactive Applications* (HPCA 2019).
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.patterns`  — the nine parallel patterns, PPG/CDFG and
+  automatic pattern analysis (Section IV-A);
+* :mod:`repro.frontend`  — annotated pseudo-OpenCL frontend;
+* :mod:`repro.optim`     — Table-I knobs, local/global optimization and
+  analytical-model-driven DSE (Sections IV-B/C);
+* :mod:`repro.hardware`  — platform specs (Tables IV/V) and the
+  GPU/FPGA analytical performance & power models;
+* :mod:`repro.scheduler` — the two-step runtime kernel scheduler and
+  the static baselines (Section V);
+* :mod:`repro.runtime`   — leaf-node architectures (Table III), the
+  request-level simulator, metrics, traces and the TCO model
+  (Section VI);
+* :mod:`repro.apps`      — the six QoS-sensitive benchmarks (Table II);
+* :mod:`repro.experiments` — one regenerator per paper table/figure.
+
+Quickstart::
+
+    from repro import apps, runtime
+    app = apps.build("ASR")
+    system = runtime.setting("I", "Heter-Poly")
+    spaces = app.explore(system.platforms)
+    arrivals = runtime.poisson_arrivals(rps=30, duration_ms=20_000)
+    result = runtime.run_simulation(system, app, spaces, arrivals)
+    print(result.p99_ms, result.avg_power_w)
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, hardware, optim, patterns, runtime, scheduler
+
+__all__ = [
+    "apps",
+    "hardware",
+    "optim",
+    "patterns",
+    "runtime",
+    "scheduler",
+    "__version__",
+]

@@ -1,0 +1,177 @@
+"""Automatic Speech Recognition (ASR) benchmark [39].
+
+The motivating application of Section II-B: a Google-style cloud ASR
+service whose core is an LSTM acoustic model.  Fig. 6 shows its kernel
+graph — four kernels with two execution paths merging at K4:
+
+    K1 (LSTM acoustic)  ------------------\\
+                                            K4 (FC output)
+    K2 (FC embed) --> K3 (LSTM language) --/
+
+Per Table II the kernels compose Map/Reduce/Pipeline/Tiling (LSTM) and
+Map/Pipeline/Pack (fully connected).  The LSTM kernels carry a strong
+sequential dependency across time steps — the property that makes them
+relatively better suited to a customized FPGA pipeline than to a GPU
+(Fig. 1e-f), while the wide fully-connected kernels batch well on GPUs.
+
+Workload sizes are calibrated so the most energy-efficient designs land
+near the paper's per-kernel latencies (GPU 102/57/52/78 ms, FPGA
+109/50/45/75 ms for K1..K4).
+"""
+
+from __future__ import annotations
+
+from ..hardware.specs import DeviceType
+from ..patterns import (
+    Kernel,
+    Map,
+    Pack,
+    Pipeline,
+    PPG,
+    Reduce,
+    Tensor,
+    Tiling,
+)
+from ..scheduler.kernel_graph import KernelGraph
+from .base import Application
+
+__all__ = ["build", "lstm_kernel", "fully_connected_kernel"]
+
+
+def lstm_kernel(
+    name: str,
+    hidden: int,
+    input_dim: int,
+    seq_len: int,
+    dtype: str = "fp16",
+    platform_bias=None,
+) -> Kernel:
+    """LSTM kernel: Map (gate GEMV) + Reduce (cell state) + Pipeline
+    (recurrence) + Tiling (weight blocking) — Table II row 1."""
+    x = Tensor(f"{name}_x", (seq_len, input_dim), dtype)
+    # Quantized (ESE-style) weight matrix: persistent parameter state.
+    w = Tensor(f"{name}_w", (4, hidden, hidden + input_dim), "int8", resident=True)
+
+    ppg = PPG(name)
+    tile = ppg.add_pattern(
+        Tiling((w,), tile=(4, 64, 64), grid=(1, hidden // 64, (hidden + input_dim) // 64))
+    )
+    # Gate mat-vecs: 4 gates x hidden x (hidden+input) MACs per time step,
+    # expressed per element of the input sequence.
+    gates = ppg.add_pattern(
+        Map(
+            (x, w),
+            func="mac",
+            ops_per_element=2.0 * 4 * hidden * (hidden + input_dim) / input_dim,
+        )
+    )
+    # Cell-state accumulation across the gate partial sums.
+    cell = ppg.add_pattern(Reduce((x,), func="add", ops_per_element=2.0))
+    # The recurrence: seq_len dependent iterations of sigmoid/tanh updates.
+    recur = ppg.add_pattern(
+        Pipeline(
+            (x,),
+            stages=("sigmoid", "tanh", "mul", "add"),
+            ops_per_stage=3.0,
+            iterations=seq_len,
+        )
+    )
+    ppg.connect(tile, gates)
+    ppg.connect(gates, cell)
+    ppg.connect(cell, recur)
+    return Kernel(name, ppg, platform_bias=platform_bias)
+
+
+def fully_connected_kernel(
+    name: str,
+    in_dim: int,
+    out_dim: int,
+    layers: int = 1,
+    dtype: str = "fp16",
+    tiled: bool = False,
+    platform_bias=None,
+) -> Kernel:
+    """Fully-connected stack: Map + Pipeline + Pack (+ Tiling for the
+    large IR variant) — Table II.
+
+    ``layers`` dependent GEMV layers form the DNN service's dense part;
+    the weight stack is a resident parameter tensor re-streamed per
+    layer on GPUs (the DjiNN batching motivation) and pinned compressed
+    in BRAM on FPGAs.
+    """
+    x = Tensor(f"{name}_x", (in_dim,), dtype)
+    # One layer's weight matrix; successive layers stream their own
+    # slices (stationary=False), `layers` dependent steps in total.
+    w = Tensor(f"{name}_w", (out_dim, in_dim), dtype, resident=True, stationary=False)
+
+    ppg = PPG(name)
+    mm = ppg.add_pattern(
+        Map((x, w), func="mac", ops_per_element=2.0 * out_dim * layers)
+    )
+    act = ppg.add_pattern(
+        Pipeline(
+            (x,),
+            stages=("bias", "relu"),
+            ops_per_stage=1.0,
+            iterations=layers,
+        )
+    )
+    pack = ppg.add_pattern(Pack((x,), func="pack", ops_per_element=0.5))
+    ppg.connect(mm, act)
+    ppg.connect(act, pack)
+    if tiled:
+        tile = ppg.add_pattern(
+            Tiling((w,), tile=(64, 64), grid=(out_dim // 64, in_dim // 64))
+        )
+        ppg.connect(tile, mm)
+    return Kernel(name, ppg, platform_bias=platform_bias)
+
+
+def build() -> Application:
+    """Build the ASR application (Fig. 6 kernel graph)."""
+    graph = KernelGraph("ASR")
+    # platform_bias values are fitted against the paper's measured
+    # per-kernel latencies (Fig. 1e-f); see Kernel.platform_bias.
+    graph.add_kernel(
+        lstm_kernel(
+            "LSTM_acoustic", hidden=1536, input_dim=1024, seq_len=160,
+            platform_bias={DeviceType.GPU: 1.10, DeviceType.FPGA: 0.75},
+        )
+    )
+    graph.add_kernel(
+        fully_connected_kernel(
+            "FC_embed", in_dim=8192, out_dim=8192, layers=3,
+            platform_bias={DeviceType.FPGA: 1.0},
+        )
+    )
+    graph.add_kernel(
+        lstm_kernel(
+            "LSTM_language", hidden=1280, input_dim=1024, seq_len=120,
+            platform_bias={DeviceType.GPU: 1.05, DeviceType.FPGA: 0.90},
+        )
+    )
+    graph.add_kernel(
+        fully_connected_kernel(
+            "FC_output", in_dim=8192, out_dim=8192, layers=4,
+            platform_bias={DeviceType.FPGA: 1.1},
+        )
+    )
+
+    # Fig. 6: K1 => K4 and K2 => K3 => K4.
+    graph.connect("LSTM_acoustic", "FC_output")
+    graph.connect("FC_embed", "LSTM_language")
+    graph.connect("LSTM_language", "FC_output")
+
+    lstm_targets = {DeviceType.GPU: 116, DeviceType.FPGA: 256}
+    fc_targets = {DeviceType.GPU: 148, DeviceType.FPGA: 192}
+    return Application(
+        name="ASR",
+        full_name="Automatic Speech Recognition",
+        graph=graph,
+        design_targets={
+            "LSTM_acoustic": lstm_targets,
+            "LSTM_language": lstm_targets,
+            "FC_embed": fc_targets,
+            "FC_output": fc_targets,
+        },
+    )

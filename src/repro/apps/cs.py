@@ -1,0 +1,102 @@
+"""Cloud Storage (CS) benchmark [54].
+
+OpenCL-based Reed-Solomon erasure coding, as used by distributed
+storage backends: an RS encoder on the write path and an RS decoder on
+the degraded-read path.  Both kernels are GF(2^8) byte arithmetic —
+narrow integer datapaths with table-driven Galois-field multiplies that
+pack densely into FPGA fabric but map poorly onto fp32-oriented GPU
+lanes, plus strided Gather/Scatter over the stripe layout.
+
+Table II: both kernels compose Gather, Map, Pipeline, Scatter, Tiling.
+"""
+
+from __future__ import annotations
+
+from ..hardware.specs import DeviceType
+from ..patterns import (
+    Gather,
+    Kernel,
+    Map,
+    Pipeline,
+    PPG,
+    Scatter,
+    Tensor,
+    Tiling,
+)
+from ..scheduler.kernel_graph import KernelGraph
+from .base import Application
+
+__all__ = ["build", "rs_kernel"]
+
+
+def rs_kernel(
+    name: str,
+    stripe_mb: int = 16,
+    data_shards: int = 10,
+    parity_shards: int = 4,
+    decode: bool = False,
+) -> Kernel:
+    """Reed-Solomon encode/decode over one stripe.
+
+    Encoding multiplies each data byte by the generator-matrix column
+    for every parity shard; decoding additionally inverts the surviving
+    rows (more GF work, modelled as a higher per-byte op count).
+    """
+    stripe_bytes = stripe_mb * 1024 * 1024
+    shard = Tensor(f"{name}_stripe", (data_shards, stripe_bytes // data_shards), "uint8")
+
+    # GF(2^8) multiply-accumulate per output byte per parity shard; a
+    # decode pays roughly 1.6x (syndrome + matrix inversion application).
+    gf_ops = 2.0 * parity_shards * (1.6 if decode else 1.0)
+
+    gf_tables = Tensor(f"{name}_gf_tables", (3, 256), "uint8", resident=True)
+
+    ppg = PPG(name)
+    tile = ppg.add_pattern(
+        Tiling(
+            (shard,),
+            tile=(1, 64 * 1024),
+            grid=(data_shards, stripe_bytes // data_shards // (64 * 1024)),
+        )
+    )
+    gather = ppg.add_pattern(Gather((shard,), index_space=shard.elements))
+    gf_mul = ppg.add_pattern(
+        Map((shard, gf_tables), func="gf_mul", ops_per_element=gf_ops)
+    )
+    stream = ppg.add_pattern(
+        Pipeline((shard,), stages=("lookup", "xor_acc"), ops_per_stage=1.0)
+    )
+    out = Tensor(
+        f"{name}_parity", (parity_shards, stripe_bytes // data_shards), "uint8"
+    )
+    scatter = ppg.add_pattern(Scatter((out,), index_space=out.elements))
+
+    ppg.connect(tile, gather)
+    ppg.connect(gather, gf_mul)
+    ppg.connect(gf_mul, stream)
+    ppg.connect(stream, scatter)
+    return Kernel(name, ppg)
+
+
+def build() -> Application:
+    """Build the CS application: RS Encoder -> RS Decoder (verify path)."""
+    graph = KernelGraph("CS")
+    graph.add_kernel(rs_kernel("RS_Encoder", decode=False))
+    graph.add_kernel(rs_kernel("RS_Decoder", decode=True))
+    graph.connect("RS_Encoder", "RS_Decoder")
+
+    # Calibration against measured hardware: GF(2^8) byte arithmetic
+    # (table lookups + XOR trees) maps poorly onto fp32 GPU lanes but
+    # packs densely into FPGA LUTs (Section VI motivation for CS).
+    for kernel_name in ("RS_Encoder", "RS_Decoder"):
+        graph.kernel(kernel_name).platform_bias = {
+            DeviceType.GPU: 30.0, DeviceType.FPGA: 6.3,
+        }
+
+    targets = {DeviceType.GPU: 108, DeviceType.FPGA: 128}
+    return Application(
+        name="CS",
+        full_name="Cloud Storage (Reed-Solomon erasure coding)",
+        graph=graph,
+        design_targets={"RS_Encoder": targets, "RS_Decoder": targets},
+    )

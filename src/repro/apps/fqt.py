@@ -1,0 +1,111 @@
+"""Finance Quantitative Trading (FQT) benchmark.
+
+Monte-Carlo option pricing: a pseudo-random number generator feeds a
+Black-Scholes path evaluator whose results are reduced to the price
+estimate.  Section VI-B singles this application out: the PRNG kernel
+"requires large batch size to enable high throughput" on GPUs but is
+"naturally amenable to a customized pipeline on FPGAs with both
+relatively high throughput and low latency" — so Heter-Poly sends PRNG
+to FPGAs and keeps Black-Scholes/Reduce on GPUs.
+
+We model that asymmetry physically: the PRNG recurrence (each draw
+depends on the previous state of its stream) serializes GPU execution
+across steps, while Black-Scholes is embarrassingly parallel fp32 math
+that the GPU's SIMD lanes love.
+"""
+
+from __future__ import annotations
+
+from ..hardware.specs import DeviceType
+from ..patterns import Kernel, Map, Pack, Pipeline, PPG, Reduce, Tensor
+from ..scheduler.kernel_graph import KernelGraph
+from .base import Application
+
+__all__ = ["build", "prng_kernel", "black_scholes_kernel", "reduce_kernel"]
+
+
+def prng_kernel(
+    name: str = "PRNG",
+    streams: int = 8192,
+    draws_per_stream: int = 4096,
+) -> Kernel:
+    """Mersenne-twister-style generator: Map over streams + a long
+    sequential Pipeline inside each stream (Table II: Map, Pipeline)."""
+    state = Tensor(f"{name}_state", (streams, 32), "int32")
+
+    ppg = PPG(name)
+    seed = ppg.add_pattern(Map((state,), func="prng", ops_per_element=4.0))
+    twist = ppg.add_pattern(
+        Pipeline(
+            (state,),
+            stages=("twist", "temper", "write"),
+            ops_per_stage=6.0 * draws_per_stream / 32.0,
+            iterations=draws_per_stream // 16,
+        )
+    )
+    ppg.connect(seed, twist)
+    return Kernel(name, ppg)
+
+
+def black_scholes_kernel(
+    name: str = "BlackScholes",
+    paths: int = 1 << 25,
+) -> Kernel:
+    """Black-Scholes evaluation over Monte-Carlo paths: wide fp32 Map
+    plus a short math Pipeline (exp/log/cdf)."""
+    draws = Tensor(f"{name}_draws", (paths,), "fp32")
+
+    ppg = PPG(name)
+    price = ppg.add_pattern(Map((draws,), func="cdf", ops_per_element=48.0))
+    post = ppg.add_pattern(
+        Pipeline((draws,), stages=("exp", "discount"), ops_per_stage=4.0)
+    )
+    ppg.connect(price, post)
+    return Kernel(name, ppg)
+
+
+def reduce_kernel(name: str = "Reduce", paths: int = 1 << 25) -> Kernel:
+    """Payoff aggregation: tree Reduce + Pack of the per-option results."""
+    payoffs = Tensor(f"{name}_payoffs", (paths,), "fp32")
+
+    ppg = PPG(name)
+    acc = ppg.add_pattern(Reduce((payoffs,), func="add", ops_per_element=1.0))
+    pack = ppg.add_pattern(
+        Pack((Tensor(f"{name}_res", (1024,), "fp32"),), ops_per_element=0.5)
+    )
+    ppg.connect(acc, pack)
+    return Kernel(name, ppg)
+
+
+def build() -> Application:
+    """Build the FQT application: PRNG -> BlackScholes -> Reduce."""
+    graph = KernelGraph("FQT")
+    graph.add_kernel(prng_kernel())
+    graph.add_kernel(black_scholes_kernel())
+    graph.add_kernel(reduce_kernel())
+    graph.connect("PRNG", "BlackScholes")
+    graph.connect("BlackScholes", "Reduce")
+
+    # Calibration against the paper's measured hardware (Section VI-B:
+    # PRNG is pipeline-friendly on FPGAs and batch-hungry on GPUs;
+    # Black-Scholes/Reduce are GPU-amenable).  See Kernel.platform_bias.
+    graph.kernel("PRNG").platform_bias = {
+        DeviceType.GPU: 1.15, DeviceType.FPGA: 2.0,
+    }
+    graph.kernel("BlackScholes").platform_bias = {
+        DeviceType.GPU: 2.0, DeviceType.FPGA: 0.5,
+    }
+    graph.kernel("Reduce").platform_bias = {
+        DeviceType.GPU: 1.5, DeviceType.FPGA: 0.7,
+    }
+
+    return Application(
+        name="FQT",
+        full_name="Finance Quantitative Trading",
+        graph=graph,
+        design_targets={
+            "PRNG": {DeviceType.GPU: 64, DeviceType.FPGA: 128},
+            "BlackScholes": {DeviceType.GPU: 64, DeviceType.FPGA: 128},
+            "Reduce": {DeviceType.GPU: 16, DeviceType.FPGA: 64},
+        },
+    )

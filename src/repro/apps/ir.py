@@ -1,0 +1,140 @@
+"""Image Recognition (IR) benchmark [53].
+
+AlexNet-style CNN inference over datacenter-uploaded images.  Section
+VI-B uses IR to illustrate the latency/load crossover: the FPGA's
+customized pipeline serves single images at low latency (no batching
+needed), but saturates early; the GPU batches images and sustains much
+higher load at the cost of batching latency.
+
+Kernels per Table II: Convolution (Gather, Map, Pipeline, Stencil,
+Tiling, Scatter), Pooling (Map, Stencil, Tiling) and Fully Connected
+(Map, Pipeline, Pack, Tiling).
+"""
+
+from __future__ import annotations
+
+from ..hardware.specs import DeviceType
+from ..patterns import (
+    Gather,
+    Kernel,
+    Map,
+    Pipeline,
+    PPG,
+    Scatter,
+    Stencil,
+    Tensor,
+    Tiling,
+)
+from ..scheduler.kernel_graph import KernelGraph
+from .asr import fully_connected_kernel
+from .base import Application
+
+__all__ = ["build", "convolution_kernel", "pooling_kernel"]
+
+_NEIGH_3X3 = tuple((dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1))
+
+
+def convolution_kernel(
+    name: str = "Convolution",
+    image: int = 224,
+    channels: int = 128,
+    filters: int = 384,
+    dtype: str = "fp16",
+) -> Kernel:
+    """Stacked convolution layers as one OpenCL kernel.
+
+    im2col Gather -> tiled Stencil (the 3x3 filter sweep) -> channel
+    Map (filter dot products) -> Pipeline (bias/activation) -> Scatter
+    (NCHW writeback).
+    """
+    img = Tensor(f"{name}_img", (channels, image, image), dtype)
+    flt = Tensor(f"{name}_flt", (filters, channels, 3, 3), dtype, resident=True)
+
+    ppg = PPG(name)
+    tile = ppg.add_pattern(
+        Tiling((img,), tile=(channels, 16, 16), grid=(1, image // 16, image // 16))
+    )
+    gather = ppg.add_pattern(Gather((img,), index_space=img.elements))
+    sweep = ppg.add_pattern(
+        Stencil((img,), func="mac", ops_per_element=2.0, neighborhood=_NEIGH_3X3)
+    )
+    dots = ppg.add_pattern(
+        Map((img, flt), func="mac", ops_per_element=2.0 * filters / channels)
+    )
+    act = ppg.add_pattern(
+        Pipeline((img,), stages=("bias", "relu"), ops_per_stage=1.0)
+    )
+    out = Tensor(f"{name}_out", (filters, image, image), dtype)
+    scatter = ppg.add_pattern(Scatter((out,), index_space=out.elements))
+
+    ppg.connect(tile, gather)
+    ppg.connect(gather, sweep)
+    ppg.connect(sweep, dots)
+    ppg.connect(dots, act)
+    ppg.connect(act, scatter)
+    return Kernel(name, ppg)
+
+
+def pooling_kernel(
+    name: str = "Pooling",
+    image: int = 112,
+    channels: int = 384,
+    dtype: str = "fp16",
+) -> Kernel:
+    """Max-pooling: tiled Stencil + Map (Table II)."""
+    img = Tensor(f"{name}_img", (channels, image, image), dtype)
+
+    ppg = PPG(name)
+    tile = ppg.add_pattern(
+        Tiling((img,), tile=(1, 28, 28), grid=(channels, image // 28, image // 28))
+    )
+    window = ppg.add_pattern(
+        Stencil(
+            (img,),
+            func="max",
+            ops_per_element=1.0,
+            neighborhood=((0, 0), (0, 1), (1, 0), (1, 1)),
+        )
+    )
+    downsample = ppg.add_pattern(Map((img,), func="max", ops_per_element=1.0))
+    ppg.connect(tile, window)
+    ppg.connect(window, downsample)
+    return Kernel(name, ppg)
+
+
+def build() -> Application:
+    """Build the IR application: Convolution -> Pooling -> FC."""
+    graph = KernelGraph("IR")
+    graph.add_kernel(convolution_kernel())
+    graph.add_kernel(pooling_kernel())
+    graph.add_kernel(
+        fully_connected_kernel("FC", in_dim=9216, out_dim=4096, layers=3, tiled=True)
+    )
+    graph.connect("Convolution", "Pooling")
+    graph.connect("Pooling", "FC")
+
+    # Calibration against the paper's measured hardware (Section VI-B:
+    # the FPGA's customized pipeline serves single images at low latency
+    # — "no need ... to batch a few images" — while the GPU needs
+    # batches; the FC stack streams weights, which hurts the FPGA's
+    # narrow DDR).  See Kernel.platform_bias.
+    graph.kernel("Convolution").platform_bias = {
+        DeviceType.GPU: 12.0, DeviceType.FPGA: 1.3,
+    }
+    graph.kernel("Pooling").platform_bias = {
+        DeviceType.GPU: 15.0, DeviceType.FPGA: 1.0,
+    }
+    graph.kernel("FC").platform_bias = {
+        DeviceType.GPU: 8.0, DeviceType.FPGA: 3.8,
+    }
+
+    return Application(
+        name="IR",
+        full_name="Image Recognition",
+        graph=graph,
+        design_targets={
+            "Convolution": {DeviceType.GPU: 192, DeviceType.FPGA: 256},
+            "Pooling": {DeviceType.GPU: 128, DeviceType.FPGA: 256},
+            "FC": {DeviceType.GPU: 92, DeviceType.FPGA: 128},
+        },
+    )

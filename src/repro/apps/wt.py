@@ -1,0 +1,163 @@
+"""WebP Transcoding (WT) benchmark [55].
+
+Server-side transcoding of uploaded images to WebP: VP8-style
+intra-prediction, symbol probability counting, and boolean arithmetic
+coding.  Arithmetic coding is the archetypal sequential kernel — every
+coded bit renormalizes the range for the next — which a GPU can only
+batch across independent partitions while an FPGA runs it as a
+tight feedback pipeline.
+
+Table II: Intra-prediction (Gather, Map, Pipeline, Tiling),
+Probability Counting (Map, Pipeline, Reduce, Pack), Arithmetic Coding
+(Scatter, Map, Pipeline, Stencil).
+"""
+
+from __future__ import annotations
+
+from ..hardware.specs import DeviceType
+from ..patterns import (
+    Gather,
+    Kernel,
+    Map,
+    Pack,
+    Pipeline,
+    PPG,
+    Reduce,
+    Scatter,
+    Stencil,
+    Tensor,
+    Tiling,
+)
+from ..scheduler.kernel_graph import KernelGraph
+from .base import Application
+
+__all__ = [
+    "build",
+    "intra_prediction_kernel",
+    "probability_counting_kernel",
+    "arithmetic_coding_kernel",
+]
+
+
+def intra_prediction_kernel(
+    name: str = "Intra_Prediction",
+    image: int = 1024,
+) -> Kernel:
+    """4x4-block intra prediction: each block predicts from already-
+    reconstructed neighbours (Gather), evaluates the prediction modes
+    (Map), and streams down the block rows in dependency order
+    (Pipeline over block rows)."""
+    img = Tensor(f"{name}_img", (image, image), "uint8")
+    block_rows = image // 4
+
+    ppg = PPG(name)
+    tile = ppg.add_pattern(
+        Tiling((img,), tile=(4, 4), grid=(block_rows, block_rows))
+    )
+    neighbours = ppg.add_pattern(Gather((img,), index_space=img.elements // 2))
+    modes = ppg.add_pattern(Map((img,), func="sad", ops_per_element=10.0))
+    rows = ppg.add_pattern(
+        Pipeline(
+            (img,),
+            stages=("predict", "residual", "reconstruct"),
+            ops_per_stage=2.0,
+            iterations=block_rows,
+        )
+    )
+    ppg.connect(tile, neighbours)
+    ppg.connect(neighbours, modes)
+    ppg.connect(modes, rows)
+    return Kernel(name, ppg)
+
+
+def probability_counting_kernel(
+    name: str = "Probability_Counting",
+    image: int = 1024,
+) -> Kernel:
+    """Symbol statistics for the entropy coder: Map (classify) +
+    Reduce (histogram) + Pipeline + Pack (Table II)."""
+    residuals = Tensor(f"{name}_res", (image, image), "int16")
+
+    ppg = PPG(name)
+    classify = ppg.add_pattern(Map((residuals,), func="clip", ops_per_element=3.0))
+    histogram = ppg.add_pattern(
+        Reduce((residuals,), func="add", ops_per_element=2.0)
+    )
+    norm = ppg.add_pattern(
+        Pipeline((Tensor(f"{name}_h", (4096,), "int32"),),
+                 stages=("normalize", "cdf"), ops_per_stage=4.0)
+    )
+    pack = ppg.add_pattern(Pack((Tensor(f"{name}_t", (4096,), "int32"),)))
+    ppg.connect(classify, histogram)
+    ppg.connect(histogram, norm)
+    ppg.connect(norm, pack)
+    return Kernel(name, ppg)
+
+
+def arithmetic_coding_kernel(
+    name: str = "Arithmetic_Coding",
+    image: int = 1024,
+    partitions: int = 8,
+) -> Kernel:
+    """Boolean arithmetic coder over ``partitions`` independent slices.
+
+    Inside a partition, coding is strictly sequential (range update per
+    symbol); across partitions it is parallel — hence a Pipeline with
+    symbols/partitions iterations, a context-modelling Stencil, and a
+    Scatter for the bitstream writeback."""
+    symbols = image * image // 4
+    stream = Tensor(f"{name}_sym", (symbols,), "uint8")
+
+    ppg = PPG(name)
+    ctx = ppg.add_pattern(
+        Stencil((stream,), func="ctx", ops_per_element=2.0,
+                neighborhood=((-1,), (0,)))
+    )
+    model = ppg.add_pattern(Map((stream,), func="encode", ops_per_element=6.0))
+    coder = ppg.add_pattern(
+        Pipeline(
+            (stream,),
+            stages=("bound", "update", "renorm"),
+            ops_per_stage=3.0,
+            iterations=max(symbols // (partitions * 256), 1),
+        )
+    )
+    out = ppg.add_pattern(Scatter((stream,), index_space=symbols // 4))
+    ppg.connect(ctx, model)
+    ppg.connect(model, coder)
+    ppg.connect(coder, out)
+    return Kernel(name, ppg)
+
+
+def build() -> Application:
+    """Build the WT application: Intra -> ProbCount -> ArithCoding."""
+    graph = KernelGraph("WT")
+    graph.add_kernel(intra_prediction_kernel())
+    graph.add_kernel(probability_counting_kernel())
+    graph.add_kernel(arithmetic_coding_kernel())
+    graph.connect("Intra_Prediction", "Probability_Counting")
+    graph.connect("Probability_Counting", "Arithmetic_Coding")
+
+    # Calibration: block-sequential prediction and bit-serial arithmetic
+    # coding favour the FPGA's feedback pipelines; a GPU serializes on
+    # the intra-block dependences (Section VII's LINQits/Catapult line).
+    graph.kernel("Intra_Prediction").platform_bias = {
+        DeviceType.FPGA: 88.0,
+    }
+    graph.kernel("Probability_Counting").platform_bias = {
+        DeviceType.GPU: 10.0, DeviceType.FPGA: 26.0,
+    }
+    graph.kernel("Arithmetic_Coding").platform_bias = {
+        DeviceType.GPU: 2.0, DeviceType.FPGA: 400.0,
+    }
+
+    return Application(
+        name="WT",
+        full_name="WebP Transcoding",
+        graph=graph,
+        design_targets={
+            "Intra_Prediction": {DeviceType.GPU: 128, DeviceType.FPGA: 256},
+            "Probability_Counting": {DeviceType.GPU: 64, DeviceType.FPGA: 128},
+            "Arithmetic_Coding": {DeviceType.GPU: 92, DeviceType.FPGA: 128},
+        },
+    )

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figure NAME``
+    Regenerate one paper table/figure (``fig01`` … ``fig14``,
+    ``table2``) and print its text rendering.
+
+``dse APP [--setting I]``
+    Run the offline DSE for one benchmark and print each kernel's
+    design-space summary and Pareto extremes.
+
+``schedule APP [--setting I]``
+    Print the two-step runtime schedule (Fig.-6 style) for one request
+    of a benchmark on an idle Heter-Poly node.
+
+``simulate APP RPS [--setting I] [--system Heter-Poly] [--ms 10000]``
+    Serve a Poisson stream and report tail latency / power.
+
+``codegen APP KERNEL [--fpga] [--unroll N] ...``
+    Emit the optimized OpenCL source of one kernel implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import apps as apps_mod
+from . import experiments, runtime
+from .codegen import generate_host_snippet, generate_kernel_source
+from .hardware import ImplConfig
+from .hardware.specs import DeviceType
+from .scheduler import DeviceSlot, PolyScheduler
+
+_FIGURES = {
+    name: getattr(experiments, name)
+    for name in (
+        "fig01", "fig06", "table2", "fig07", "fig08", "fig09",
+        "fig10", "fig11", "fig12", "fig13", "fig14",
+    )
+}
+
+
+def _cmd_figure(args) -> int:
+    module = _FIGURES.get(args.name)
+    if module is None:
+        print(f"unknown figure {args.name!r}; choose from {sorted(_FIGURES)}")
+        return 2
+    data = module.run()
+    print(module.render(data))
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    app = apps_mod.build(args.app)
+    system = runtime.setting(args.setting, "Heter-Poly")
+    spaces = app.explore(system.platforms)
+    print(f"{app} on Setting-{args.setting}")
+    for kernel in app.kernels:
+        for spec in system.platforms:
+            space = spaces[(kernel.name, spec.name)]
+            s = space.summary()
+            print(
+                f"  {kernel.name:22s} {spec.device_type.value.upper():4s} "
+                f"{len(space):4d} pts ({int(s['pareto_points'])} Pareto)  "
+                f"lat [{s['latency_min_ms']:8.1f}, {s['latency_max_ms']:9.1f}] ms  "
+                f"power [{s['power_min_w']:5.1f}, {s['power_max_w']:6.1f}] W"
+            )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    app = apps_mod.build(args.app)
+    system = runtime.setting(args.setting, "Heter-Poly")
+    spaces = app.explore(system.platforms)
+    devices = [
+        DeviceSlot(device_id, spec.name, spec.device_type)
+        for device_id, spec in system.device_inventory()
+    ]
+    scheduler = PolyScheduler(spaces, app.qos_ms)
+    schedule, swaps = scheduler.schedule(app.graph, devices)
+    print(schedule.gantt())
+    for swap in swaps:
+        print(f"  {swap!r}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    app = apps_mod.build(args.app)
+    system = runtime.setting(args.setting, args.system)
+    spaces = app.explore(system.platforms)
+    arrivals = runtime.poisson_arrivals(args.rps, args.ms)
+    result = runtime.run_simulation(system, app, spaces, arrivals)
+    print(result)
+    print(f"  p99        : {result.p99_ms:.1f} ms (bound {app.qos_ms:.0f} ms)")
+    print(f"  mean       : {result.mean_latency_ms:.1f} ms")
+    print(f"  avg power  : {result.avg_power_w:.1f} W")
+    print(f"  violations : {result.qos_violations(app.qos_ms)*100:.2f} %")
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    app = apps_mod.build(args.app)
+    if args.kernel not in app.graph:
+        print(f"unknown kernel {args.kernel!r}; app has {app.kernel_names}")
+        return 2
+    kernel = app.graph.kernel(args.kernel)
+    device_type = DeviceType.FPGA if args.fpga else DeviceType.GPU
+    config = ImplConfig(
+        work_group_size=args.wg,
+        unroll=args.unroll,
+        compute_units=args.cu,
+        bram_ports=args.ports,
+        use_scratchpad=args.scratchpad,
+        memory_coalescing=args.coalesce,
+        pipelined=args.pipeline,
+        double_buffer=args.double_buffer,
+        fused=args.fused,
+    )
+    print(generate_kernel_source(kernel, config, device_type))
+    print()
+    print(generate_host_snippet(kernel, config, device_type))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Poly (HPCA 2019) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", help="fig01..fig14 or table2")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("dse", help="offline design-space exploration")
+    p.add_argument("app")
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.set_defaults(fn=_cmd_dse)
+
+    p = sub.add_parser("schedule", help="two-step schedule of one request")
+    p.add_argument("app")
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("simulate", help="serve a Poisson request stream")
+    p.add_argument("app")
+    p.add_argument("rps", type=float)
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--system",
+        default="Heter-Poly",
+        choices=("Homo-GPU", "Homo-FPGA", "Heter-Poly"),
+    )
+    p.add_argument("--ms", type=float, default=10_000.0)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("codegen", help="emit optimized OpenCL source")
+    p.add_argument("app")
+    p.add_argument("kernel")
+    p.add_argument("--fpga", action="store_true")
+    p.add_argument("--wg", type=int, default=64)
+    p.add_argument("--unroll", type=int, default=1)
+    p.add_argument("--cu", type=int, default=1)
+    p.add_argument("--ports", type=int, default=1)
+    p.add_argument("--scratchpad", action="store_true")
+    p.add_argument("--coalesce", action="store_true")
+    p.add_argument("--pipeline", action="store_true")
+    p.add_argument("--double-buffer", action="store_true")
+    p.add_argument("--fused", action="store_true")
+    p.set_defaults(fn=_cmd_codegen)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""OpenCL code generation for optimized design points (Fig. 5)."""
+
+from .opencl import generate_host_snippet, generate_kernel_source
+
+__all__ = ["generate_kernel_source", "generate_host_snippet"]

@@ -1,0 +1,50 @@
+"""Experiment regenerators — one module per paper table/figure.
+
+Each module exposes ``run(...) -> data`` and ``render(data) -> str``;
+the benchmark harness in ``benchmarks/`` calls these and asserts the
+paper's qualitative shapes.
+
+| Module   | Reproduces                                             |
+|----------|--------------------------------------------------------|
+| fig01    | Motivation study: latency/RPS, EP, Pareto, per-kernel  |
+| fig06    | Two-step scheduling of ASR (Gantt + energy swaps)      |
+| table2   | Benchmark inventory and design-space sizes             |
+| fig07    | Tail latency vs load, 6 apps x 3 systems               |
+| fig08    | Max throughput under QoS (+avg, geomean)               |
+| fig09    | Power-scaling trends vs load                           |
+| fig10    | Energy proportionality per benchmark                   |
+| fig11    | 24 h utilization trace                                 |
+| fig12    | Trace-driven power savings and QoS violations          |
+| fig13    | Throughput vs GPU/FPGA power split (1000 W cap)        |
+| fig14    | Cost efficiency across the three settings              |
+"""
+
+from . import (
+    fig01,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    harness,
+    table2,
+)
+
+__all__ = [
+    "harness",
+    "fig01",
+    "fig06",
+    "table2",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+]

@@ -1,0 +1,121 @@
+"""Fig. 1 — the motivation study (Section II-B).
+
+Regenerates, for the ASR service on Setting-I:
+
+(a) tail latency vs request throughput for the three systems;
+(b) energy-proportionality curves and EP values (paper: 0.68 / 0.63 /
+    0.92 for Homo-GPU / Homo-FPGA / Heter-Poly);
+(c) the LSTM kernel's Pareto design space on GPU and FPGA;
+(d) energy efficiency vs utilization (Poly adapts, baselines cannot);
+(e,f) per-kernel energy and latency of the most energy-efficient
+    designs (paper GPU: 102/57/52/78 ms; FPGA: 109/50/45/75 ms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..runtime import energy_proportionality, max_throughput_under_qos
+from .harness import (
+    DEFAULT_LOADS,
+    PEAK_RPS,
+    get_app,
+    load_sweep,
+    render_table,
+    spaces_for,
+    systems,
+)
+
+__all__ = ["run", "render"]
+
+
+def run(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ms: float = 6000.0,
+) -> Dict:
+    """Run the motivation experiment; returns all five panels' data."""
+    app = get_app("ASR")
+    archs = systems("I")
+
+    latency_curves: Dict[str, List[Tuple[float, float]]] = {}
+    power_curves: Dict[str, List[Tuple[float, float]]] = {}
+    ep: Dict[str, float] = {}
+    max_rps: Dict[str, float] = {}
+
+    for name, system in archs.items():
+        sweep = load_sweep(app, system, loads, duration_ms=duration_ms)
+        rps_axis = [load * PEAK_RPS for load, _ in sweep]
+        p99 = [r.p99_ms for _, r in sweep]
+        power = [r.avg_power_w for _, r in sweep]
+        latency_curves[name] = list(zip(rps_axis, p99))
+        power_curves[name] = list(zip([l for l, _ in sweep], power))
+        ep[name] = energy_proportionality([l for l, _ in sweep], power)
+        max_rps[name] = max_throughput_under_qos(rps_axis, p99, app.qos_ms)
+
+    # Panel (c): LSTM design space on both platforms of Heter-Poly.
+    heter = archs["Heter-Poly"]
+    spaces = spaces_for(app, heter)
+    lstm = app.graph.kernel("LSTM_acoustic")
+    pareto = {
+        spec.name: [
+            (p.latency_ms, p.power_w, p.energy_efficiency)
+            for p in spaces[(lstm.name, spec.name)].pareto()
+        ]
+        for spec in heter.platforms
+    }
+
+    # Panels (e, f): most energy-efficient design per kernel per family.
+    per_kernel: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for kernel in app.kernels:
+        row = {}
+        for spec in heter.platforms:
+            point = spaces[(kernel.name, spec.name)].max_efficiency()
+            row[spec.device_type.value] = (point.latency_ms, point.energy_mj)
+        per_kernel[kernel.name] = row
+
+    return {
+        "latency_vs_rps": latency_curves,
+        "power_vs_load": power_curves,
+        "energy_proportionality": ep,
+        "max_rps": max_rps,
+        "lstm_pareto": pareto,
+        "per_kernel_max_eff": per_kernel,
+    }
+
+
+def render(data: Dict) -> str:
+    """Text rendering of all panels."""
+    parts = []
+    rows = [
+        (name, f"{data['max_rps'][name]:.0f}", f"{data['energy_proportionality'][name]:.2f}")
+        for name in data["max_rps"]
+    ]
+    parts.append(
+        render_table(
+            ("system", "max RPS (200ms QoS)", "EP"),
+            rows,
+            "Fig. 1(a,b): ASR motivation summary",
+        )
+    )
+    lat_rows = []
+    for name, curve in data["latency_vs_rps"].items():
+        for rps, p99 in curve:
+            lat_rows.append((name, f"{rps:.0f}", f"{p99:.1f}"))
+    parts.append(
+        render_table(("system", "RPS", "p99 ms"), lat_rows, "Fig. 1(a): tail latency")
+    )
+    kern_rows = []
+    for kernel, row in data["per_kernel_max_eff"].items():
+        gpu = row.get("gpu", (float("nan"), float("nan")))
+        fpga = row.get("fpga", (float("nan"), float("nan")))
+        kern_rows.append(
+            (kernel, f"{gpu[0]:.1f}", f"{gpu[1]:.0f}", f"{fpga[0]:.1f}", f"{fpga[1]:.0f}")
+        )
+    parts.append(
+        render_table(
+            ("kernel", "GPU ms", "GPU mJ", "FPGA ms", "FPGA mJ"),
+            kern_rows,
+            "Fig. 1(e,f): per-kernel latency/energy (max-efficiency designs)",
+        )
+    )
+    return "\n\n".join(parts)

@@ -1,0 +1,60 @@
+"""Fig. 7 — tail latency vs load for all six benchmarks (Section VI-B).
+
+Sweeps load from 10% to 100% of the common RPS anchor for every
+(benchmark, system) pair on Setting-I and reports the p99 tail latency.
+The shapes to reproduce: every curve is flat at low load and blows up
+past its saturation knee; Heter-Poly's knee sits at the highest load;
+Homo-FPGA beats Homo-GPU at low load on IR but saturates earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps import APP_BUILDERS
+from .harness import (
+    DEFAULT_LOADS,
+    PEAK_RPS,
+    SYSTEM_NAMES,
+    get_app,
+    load_sweep,
+    render_table,
+    systems,
+)
+
+__all__ = ["run", "render"]
+
+
+def run(
+    app_names: Sequence[str] = tuple(APP_BUILDERS),
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ms: float = 6000.0,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Returns ``{app: {system: [(load, p99_ms), ...]}}``."""
+    archs = systems("I")
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for app_name in app_names:
+        app = get_app(app_name)
+        out[app_name] = {}
+        for sys_name in SYSTEM_NAMES:
+            sweep = load_sweep(app, archs[sys_name], loads, duration_ms=duration_ms)
+            out[app_name][sys_name] = [(load, r.p99_ms) for load, r in sweep]
+    return out
+
+
+def render(data: Dict[str, Dict[str, List[Tuple[float, float]]]]) -> str:
+    parts = []
+    for app_name, curves in data.items():
+        loads = [f"{load*100:.0f}%" for load, _ in next(iter(curves.values()))]
+        rows = [
+            (sys_name, *(f"{p99:.0f}" for _, p99 in curve))
+            for sys_name, curve in curves.items()
+        ]
+        parts.append(
+            render_table(
+                ("system", *loads),
+                rows,
+                f"Fig. 7 ({app_name}): p99 tail latency (ms) vs load",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,79 @@
+"""Fig. 9 — power-scaling trends vs load (Section VI-B).
+
+Average node power as a function of load for three representative
+benchmarks (the paper shows ASR, FQT and IR; the others scale
+similarly) plus the ideal energy-proportional line.  Shape to
+reproduce: Heter-Poly's curve hugs the ideal (low idle power, DVFS,
+low-power bitstreams), while both baselines sit far above it at low
+load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..runtime import ideal_power_curve
+from .harness import (
+    DEFAULT_LOADS,
+    SYSTEM_NAMES,
+    get_app,
+    load_sweep,
+    render_table,
+    systems,
+)
+
+__all__ = ["run", "render", "REPRESENTATIVE_APPS"]
+
+#: The three benchmarks Fig. 9 plots.
+REPRESENTATIVE_APPS = ("ASR", "FQT", "IR")
+
+
+def run(
+    app_names: Sequence[str] = REPRESENTATIVE_APPS,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ms: float = 6000.0,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Returns ``{app: {system|"ideal": [(load, power_w), ...]}}``."""
+    archs = systems("I")
+    out: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for app_name in app_names:
+        app = get_app(app_name)
+        curves: Dict[str, List[Tuple[float, float]]] = {}
+        for sys_name in SYSTEM_NAMES:
+            sweep = load_sweep(app, archs[sys_name], loads, duration_ms=duration_ms)
+            curves[sys_name] = [(load, r.avg_power_w) for load, r in sweep]
+        # The ideal proportional line is per-system (zero at idle, its
+        # own measured power at 100% load) — exactly the normalization
+        # Eq. 1 uses; the rendered "ideal" column shows the Heter-Poly
+        # one as the figure's dotted reference.
+        ideal = ideal_power_curve(
+            [l for l in loads], curves["Heter-Poly"][-1][1]
+        )
+        curves["ideal"] = list(zip(loads, ideal.tolist()))
+        out[app_name] = curves
+    return out
+
+
+def normalized_gap(curve: Sequence[Tuple[float, float]]) -> float:
+    """Mean distance from the system's own ideal proportional line,
+    normalized by its own peak power (lower = more proportional)."""
+    peak = max(p for _, p in curve)
+    return sum(p - load * peak for load, p in curve) / (len(curve) * peak)
+
+
+def render(data: Dict[str, Dict[str, List[Tuple[float, float]]]]) -> str:
+    parts = []
+    for app_name, curves in data.items():
+        loads = [f"{load*100:.0f}%" for load, _ in next(iter(curves.values()))]
+        rows = [
+            (name, *(f"{p:.0f}" for _, p in curve))
+            for name, curve in curves.items()
+        ]
+        parts.append(
+            render_table(
+                ("system", *loads),
+                rows,
+                f"Fig. 9 ({app_name}): average power (W) vs load",
+            )
+        )
+    return "\n\n".join(parts)

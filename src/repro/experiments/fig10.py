@@ -1,0 +1,74 @@
+"""Fig. 10 — energy-proportionality comparison (Section VI-B).
+
+EP (Eq. 1) of the three systems on every benchmark, from the measured
+power-vs-load curves.  Headline numbers: Heter-Poly improves EP by 23%
+over Homo-GPU and 17% over Homo-FPGA on average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..apps import APP_BUILDERS
+from ..runtime import energy_proportionality
+from .harness import (
+    DEFAULT_LOADS,
+    SYSTEM_NAMES,
+    get_app,
+    load_sweep,
+    render_table,
+    systems,
+)
+
+__all__ = ["run", "render", "improvement_summary"]
+
+
+def run(
+    app_names: Sequence[str] = tuple(APP_BUILDERS),
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ms: float = 6000.0,
+) -> Dict[str, Dict[str, float]]:
+    """Returns ``{system: {app: EP, ..., 'avg': EP}}``."""
+    archs = systems("I")
+    out: Dict[str, Dict[str, float]] = {name: {} for name in SYSTEM_NAMES}
+    for app_name in app_names:
+        app = get_app(app_name)
+        for sys_name in SYSTEM_NAMES:
+            sweep = load_sweep(app, archs[sys_name], loads, duration_ms=duration_ms)
+            out[sys_name][app_name] = energy_proportionality(
+                [l for l, _ in sweep], [r.avg_power_w for _, r in sweep]
+            )
+    for sys_name in SYSTEM_NAMES:
+        vals = list(out[sys_name].values())
+        out[sys_name]["avg"] = sum(vals) / len(vals)
+    return out
+
+
+def improvement_summary(data: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Average EP improvement of Heter-Poly over each baseline (the
+    paper's +23% / +17%)."""
+    poly = data["Heter-Poly"]["avg"]
+    return {
+        "vs_homo_gpu": poly - data["Homo-GPU"]["avg"],
+        "vs_homo_fpga": poly - data["Homo-FPGA"]["avg"],
+    }
+
+
+def render(data: Dict[str, Dict[str, float]]) -> str:
+    apps = [k for k in next(iter(data.values())) if k != "avg"]
+    rows = [
+        (
+            sys_name,
+            *(f"{data[sys_name][a]:.2f}" for a in apps),
+            f"{data[sys_name]['avg']:.2f}",
+        )
+        for sys_name in data
+    ]
+    imp = improvement_summary(data)
+    return (
+        render_table(
+            ("system", *apps, "avg"), rows, "Fig. 10: energy proportionality (Eq. 1)"
+        )
+        + f"\nHeter-Poly EP gain: +{imp['vs_homo_gpu']:.2f} vs Homo-GPU, "
+        + f"+{imp['vs_homo_fpga']:.2f} vs Homo-FPGA"
+    )

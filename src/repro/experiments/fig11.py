@@ -1,0 +1,51 @@
+"""Fig. 11 — the 24-hour datacenter utilization trace (Section VI-C).
+
+The paper replays a Google cluster trace [56]; we synthesize a trace
+with the same qualitative shape (diurnal swing, bursts, noise — see
+:func:`repro.runtime.trace.synthesize_google_trace`) and report its
+summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..runtime import synthesize_google_trace
+
+__all__ = ["run", "render"]
+
+
+def run(hours: float = 24.0, interval_s: float = 300.0, seed: int = 2011) -> Dict:
+    trace = synthesize_google_trace(hours=hours, interval_s=interval_s, seed=seed)
+    util = np.asarray(trace.utilization)
+    hour_axis = np.arange(len(util)) * interval_s / 3600.0
+    return {
+        "trace": trace,
+        "series": list(zip(hour_axis.tolist(), util.tolist())),
+        "mean": float(util.mean()),
+        "min": float(util.min()),
+        "max": float(util.max()),
+        "p95": float(np.percentile(util, 95)),
+    }
+
+
+def render(data: Dict) -> str:
+    lines = [
+        "Fig. 11: synthetic Google-style 24 h utilization trace",
+        f"  intervals : {len(data['series'])} x {data['trace'].interval_s:.0f} s",
+        f"  mean/min/max utilization : {data['mean']:.2f} / {data['min']:.2f} / {data['max']:.2f}",
+        f"  p95 utilization : {data['p95']:.2f}",
+        "",
+        "  hour  utilization (hourly means)",
+    ]
+    series = data["series"]
+    per_hour = {}
+    for hour, util in series:
+        per_hour.setdefault(int(hour), []).append(util)
+    for hour in sorted(per_hour):
+        mean = sum(per_hour[hour]) / len(per_hour[hour])
+        bar = "#" * int(mean * 50)
+        lines.append(f"  {hour:4d}  {mean:.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Fig. 14 — cost-efficiency analysis (Section VI-E).
+
+Maximum throughput divided by monthly TCO (Patterson's datacenter TCO
+model with Sirius-style parameters) for the three systems of all three
+Table-III settings.  FQT is the default representative workload (the
+paper aggregates all six; FQT exposes both baselines' weaknesses in
+one sweep).  Shape to reproduce: Poly is consistently the most
+cost-efficient — its energy savings dominate the operational cost, and
+the higher infrastructure cost amortizes away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..runtime import TCOModel
+from .harness import (
+    DEFAULT_LOADS,
+    SYSTEM_NAMES,
+    get_app,
+    load_sweep,
+    max_rps,
+    render_table,
+    systems,
+)
+
+__all__ = ["run", "render"]
+
+
+def run(
+    setting_numbers: Sequence[str] = ("I", "II", "III"),
+    app_name: str = "FQT",
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ms: float = 5000.0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Returns ``{setting: {system: {max_rps, tco_usd, cost_eff}}}``."""
+    app = get_app(app_name)
+    tco = TCOModel()
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for number in setting_numbers:
+        archs = systems(number)
+        out[number] = {}
+        for sys_name in SYSTEM_NAMES:
+            system = archs[sys_name]
+            knee = max_rps(app, system, loads, duration_ms=duration_ms)
+            # Average power at a representative 50% operating load.
+            sweep = load_sweep(app, system, (0.5,), duration_ms=duration_ms)
+            avg_power = sweep[0][1].avg_power_w
+            monthly = tco.monthly_tco_usd(system, avg_power)
+            out[number][sys_name] = {
+                "max_rps": knee,
+                "avg_power_w": avg_power,
+                "tco_usd_month": monthly,
+                "cost_efficiency": tco.cost_efficiency(system, knee, avg_power),
+            }
+    return out
+
+
+def render(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    parts = []
+    for number, per_system in data.items():
+        rows = [
+            (
+                sys_name,
+                f"{d['max_rps']:.0f}",
+                f"{d['avg_power_w']:.0f}",
+                f"{d['tco_usd_month']:.0f}",
+                f"{d['cost_efficiency']*1000:.1f}",
+            )
+            for sys_name, d in per_system.items()
+        ]
+        parts.append(
+            render_table(
+                ("system", "max RPS", "avg W", "TCO $/mo", "RPS per k$"),
+                rows,
+                f"Fig. 14 (Setting-{number}): cost efficiency",
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,29 @@
+"""Pattern-annotation frontend: parse annotated pseudo-OpenCL into the
+same Kernel/KernelGraph objects the programmatic API builds."""
+
+from .ast_nodes import (
+    AppDecl,
+    DepDecl,
+    EdgeDecl,
+    KernelDecl,
+    Module,
+    PatternDecl,
+    TensorDecl,
+)
+from .builder import build_application_graph, build_kernel, compile_source
+from .parser import ParseError, parse
+
+__all__ = [
+    "parse",
+    "ParseError",
+    "Module",
+    "KernelDecl",
+    "PatternDecl",
+    "TensorDecl",
+    "DepDecl",
+    "AppDecl",
+    "EdgeDecl",
+    "build_kernel",
+    "build_application_graph",
+    "compile_source",
+]

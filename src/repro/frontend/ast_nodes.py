@@ -1,0 +1,109 @@
+"""AST nodes for the pattern-annotation frontend.
+
+Poly's programming interface is function-level pattern annotations on
+OpenCL kernels (Section IV-A, Table I).  This frontend accepts a
+compact, line-oriented annotation language — the part of the OpenCL
+source Poly actually consumes — and builds the same :class:`Kernel` /
+:class:`KernelGraph` objects as the programmatic API:
+
+.. code-block:: text
+
+    kernel LSTM {
+        tensor x (160, 1024) fp16
+        tensor w (4, 1536, 2560) int8 resident
+        pattern gates = map(x, w) func=mac ops=30720
+        pattern recur = pipeline(x) stages=sigmoid,tanh ops=3 iterations=160
+        dep gates -> recur
+    }
+
+    app ASR qos=200 {
+        use LSTM
+        edge LSTM -> FC
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TensorDecl",
+    "PatternDecl",
+    "DepDecl",
+    "KernelDecl",
+    "EdgeDecl",
+    "AppDecl",
+    "Module",
+]
+
+
+@dataclass(frozen=True)
+class TensorDecl:
+    """``tensor NAME (d0, d1, ...) dtype [resident] [streamed]``"""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "fp32"
+    resident: bool = False
+    stationary: bool = True
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PatternDecl:
+    """``pattern NAME = kind(input, ...) key=value ...``"""
+
+    name: str
+    kind: str
+    inputs: Tuple[str, ...]
+    attrs: Dict[str, object] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DepDecl:
+    """``dep a -> b -> c`` (chained data dependencies)."""
+
+    chain: Tuple[str, ...]
+    line: int = 0
+
+
+@dataclass
+class KernelDecl:
+    """One ``kernel NAME { ... }`` block."""
+
+    name: str
+    tensors: List[TensorDecl] = field(default_factory=list)
+    patterns: List[PatternDecl] = field(default_factory=list)
+    deps: List[DepDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class EdgeDecl:
+    """``edge a -> b [bytes=N]`` inside an app block."""
+
+    src: str
+    dst: str
+    nbytes: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class AppDecl:
+    """One ``app NAME [qos=MS] { ... }`` block."""
+
+    name: str
+    qos_ms: float = 200.0
+    kernels: List[str] = field(default_factory=list)
+    edges: List[EdgeDecl] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """A parsed source file: kernels plus (optionally) app blocks."""
+
+    kernels: Dict[str, KernelDecl] = field(default_factory=dict)
+    apps: Dict[str, AppDecl] = field(default_factory=dict)

@@ -1,0 +1,218 @@
+"""Parser for the pattern-annotation language.
+
+Line-oriented: every declaration fits on one line; ``kernel`` and
+``app`` blocks are delimited by braces.  Errors carry line numbers so
+annotation mistakes surface at compile time, mirroring Poly's
+Clang-based annotation checker (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .ast_nodes import (
+    AppDecl,
+    DepDecl,
+    EdgeDecl,
+    KernelDecl,
+    Module,
+    PatternDecl,
+    TensorDecl,
+)
+
+__all__ = ["ParseError", "parse"]
+
+
+class ParseError(ValueError):
+    """Annotation syntax error with source location."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TENSOR_RE = re.compile(
+    r"^tensor\s+(?P<name>\w+)\s*\((?P<shape>[\d\s,]+)\)"
+    r"(?:\s+(?P<dtype>\w+))?(?P<flags>(?:\s+(?:resident|streamed))*)\s*$"
+)
+_PATTERN_RE = re.compile(
+    r"^pattern\s+(?P<name>\w+)\s*=\s*(?P<kind>\w+)\s*"
+    r"\((?P<inputs>[\w\s,]*)\)(?P<attrs>.*)$"
+)
+_DEP_RE = re.compile(r"^dep\s+(?P<chain>\w+(?:\s*->\s*\w+)+)\s*$")
+_EDGE_RE = re.compile(
+    r"^edge\s+(?P<src>\w+)\s*->\s*(?P<dst>\w+)(?:\s+bytes\s*=\s*(?P<nb>\d+))?\s*$"
+)
+_KERNEL_OPEN_RE = re.compile(r"^kernel\s+(?P<name>\w+)\s*\{\s*$")
+_APP_OPEN_RE = re.compile(
+    r"^app\s+(?P<name>\w+)(?:\s+qos\s*=\s*(?P<qos>[\d.]+))?\s*\{\s*$"
+)
+_USE_RE = re.compile(r"^use\s+(?P<name>\w+)\s*$")
+_ATTR_RE = re.compile(r"(\w+)\s*=\s*(\([^)]*\)|[\w.,+-]+)")
+
+
+def _parse_int_tuple(text: str, line: int) -> Tuple[int, ...]:
+    try:
+        return tuple(int(p) for p in text.replace("(", "").replace(")", "").split(",") if p.strip())
+    except ValueError:
+        raise ParseError(f"expected integer tuple, got {text!r}", line) from None
+
+
+def _parse_attr_value(raw: str, line: int):
+    """Attribute values: int, float, tuple of ints, or comma list of names."""
+    raw = raw.strip()
+    if raw.startswith("("):
+        return _parse_int_tuple(raw, line)
+    if "," in raw:
+        return tuple(p.strip() for p in raw.split(",") if p.strip())
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _strip(line: str) -> str:
+    """Drop comments (# and //) and whitespace."""
+    for marker in ("#", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def parse(source: str) -> Module:
+    """Parse annotation source into a :class:`Module`."""
+    module = Module()
+    kernel: Optional[KernelDecl] = None
+    app: Optional[AppDecl] = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+
+        if line == "}":
+            if kernel is not None:
+                _validate_kernel(kernel)
+                module.kernels[kernel.name] = kernel
+                kernel = None
+            elif app is not None:
+                module.apps[app.name] = app
+                app = None
+            else:
+                raise ParseError("unmatched '}'", lineno)
+            continue
+
+        m = _KERNEL_OPEN_RE.match(line)
+        if m:
+            if kernel is not None or app is not None:
+                raise ParseError("nested blocks are not allowed", lineno)
+            if m.group("name") in module.kernels:
+                raise ParseError(f"duplicate kernel {m.group('name')!r}", lineno)
+            kernel = KernelDecl(name=m.group("name"), line=lineno)
+            continue
+
+        m = _APP_OPEN_RE.match(line)
+        if m:
+            if kernel is not None or app is not None:
+                raise ParseError("nested blocks are not allowed", lineno)
+            qos = float(m.group("qos")) if m.group("qos") else 200.0
+            app = AppDecl(name=m.group("name"), qos_ms=qos, line=lineno)
+            continue
+
+        if kernel is not None:
+            _parse_kernel_line(line, lineno, kernel)
+        elif app is not None:
+            _parse_app_line(line, lineno, app)
+        else:
+            raise ParseError(f"statement outside any block: {line!r}", lineno)
+
+    if kernel is not None:
+        raise ParseError(f"kernel {kernel.name!r} is missing '}}'", kernel.line)
+    if app is not None:
+        raise ParseError(f"app {app.name!r} is missing '}}'", app.line)
+    return module
+
+
+def _parse_kernel_line(line: str, lineno: int, kernel: KernelDecl) -> None:
+    m = _TENSOR_RE.match(line)
+    if m:
+        flags = (m.group("flags") or "").split()
+        kernel.tensors.append(
+            TensorDecl(
+                name=m.group("name"),
+                shape=_parse_int_tuple(m.group("shape"), lineno),
+                dtype=m.group("dtype") or "fp32",
+                resident="resident" in flags or "streamed" in flags,
+                stationary="streamed" not in flags,
+                line=lineno,
+            )
+        )
+        return
+    m = _PATTERN_RE.match(line)
+    if m:
+        inputs = tuple(p.strip() for p in m.group("inputs").split(",") if p.strip())
+        attrs = {
+            key: _parse_attr_value(value, lineno)
+            for key, value in _ATTR_RE.findall(m.group("attrs"))
+        }
+        kernel.patterns.append(
+            PatternDecl(
+                name=m.group("name"),
+                kind=m.group("kind"),
+                inputs=inputs,
+                attrs=attrs,
+                line=lineno,
+            )
+        )
+        return
+    m = _DEP_RE.match(line)
+    if m:
+        chain = tuple(p.strip() for p in m.group("chain").split("->"))
+        kernel.deps.append(DepDecl(chain=chain, line=lineno))
+        return
+    raise ParseError(f"unrecognized kernel statement: {line!r}", lineno)
+
+
+def _parse_app_line(line: str, lineno: int, app: AppDecl) -> None:
+    m = _USE_RE.match(line)
+    if m:
+        app.kernels.append(m.group("name"))
+        return
+    m = _EDGE_RE.match(line)
+    if m:
+        nbytes = int(m.group("nb")) if m.group("nb") else None
+        app.edges.append(
+            EdgeDecl(src=m.group("src"), dst=m.group("dst"), nbytes=nbytes, line=lineno)
+        )
+        return
+    raise ParseError(f"unrecognized app statement: {line!r}", lineno)
+
+
+def _validate_kernel(kernel: KernelDecl) -> None:
+    if not kernel.patterns:
+        raise ParseError(f"kernel {kernel.name!r} declares no patterns", kernel.line)
+    tensor_names = {t.name for t in kernel.tensors}
+    pattern_names = {p.name for p in kernel.patterns}
+    if len(pattern_names) != len(kernel.patterns):
+        raise ParseError(
+            f"kernel {kernel.name!r} has duplicate pattern names", kernel.line
+        )
+    for p in kernel.patterns:
+        for inp in p.inputs:
+            if inp not in tensor_names and inp not in pattern_names:
+                raise ParseError(
+                    f"pattern {p.name!r} references unknown input {inp!r}", p.line
+                )
+    for dep in kernel.deps:
+        for node in dep.chain:
+            if node not in pattern_names:
+                raise ParseError(
+                    f"dependency references unknown pattern {node!r}", dep.line
+                )

@@ -1,0 +1,235 @@
+"""Analytical FPGA performance, resource and power model (Section IV-C).
+
+The paper navigates the FPGA design space with FlexCL-style analytical
+models [26, 48, 50]: a pipeline latency model (initiation interval x
+iterations + pipeline depth, at the post-P&R frequency) and a resource
+model (DSP/BRAM/logic usage as a function of unrolling, compute units
+and BRAM ports).  Power is taken to be roughly proportional to resource
+utilization [51], which the paper argues is accurate enough to guide
+the exploration.
+
+As with the GPU model, this serves both as the DSE navigator and as the
+simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..patterns.ppg import Kernel
+from .config import ImplConfig
+from .specs import FPGASpec
+
+__all__ = ["ResourceUsage", "FPGAPerformanceEstimate", "FPGAModel"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Fabric resources consumed by one implementation."""
+
+    dsp: int
+    bram_bytes: int
+    logic_cells_k: float
+
+    def fits(self, spec: FPGASpec) -> bool:
+        """Whether this implementation places on the given part."""
+        return (
+            self.dsp <= spec.dsp_slices
+            and self.bram_bytes <= spec.bram_bytes
+            and self.logic_cells_k <= spec.logic_cells_k
+        )
+
+    def utilization(self, spec: FPGASpec) -> float:
+        """Dominant-resource utilization fraction in [0, 1+]."""
+        return max(
+            self.dsp / spec.dsp_slices,
+            self.bram_bytes / spec.bram_bytes,
+            self.logic_cells_k / spec.logic_cells_k,
+        )
+
+
+@dataclass(frozen=True)
+class FPGAPerformanceEstimate:
+    """Latency/power/resource estimate of one (kernel, config) pair."""
+
+    latency_ms: float
+    active_power_w: float
+    resources: ResourceUsage
+    achieved_freq_mhz: float
+    initiation_interval: float
+
+    @property
+    def energy_mj(self) -> float:
+        return self.latency_ms * self.active_power_w
+
+
+class FPGAModel:
+    """FlexCL-style analytical model for one FPGA platform."""
+
+    #: DSP slices per multiply-accumulate lane, by operand type.  Narrow
+    #: fixed-point / half-precision datapaths pack more lanes per DSP —
+    #: the classic FPGA advantage (e.g. ESE's fixed-point LSTM [40]) that
+    #: 28nm-era GPUs cannot exploit.
+    DSP_PER_LANE = {
+        "fp64": 8.0,
+        "fp32": 2.0,
+        "fp16": 1.0,
+        "int64": 4.0,
+        "int32": 2.0,
+        "int16": 1.0,
+        "int8": 0.5,
+        "uint8": 0.5,
+    }
+    #: Logic (kLUT-cells) per lane for datapath + control.
+    LOGIC_K_PER_LANE = 0.15
+    #: Fixed logic for the OpenCL shell / memory controllers.
+    SHELL_LOGIC_K = 60.0
+    #: Initiation interval of a non-pipelined loop nest.
+    UNPIPELINED_II = 4.0
+    #: Pipeline fill depth (cycles) per pattern stage.
+    DEPTH_PER_STAGE = 24.0
+    #: Compression factor achievable for resident parameter tensors via
+    #: structured compression / quantization in the HLS flow (C-LSTM
+    #: [22], ESE [40]); lets weight sets several times the raw BRAM
+    #: capacity stay on chip.
+    RESIDENT_COMPRESSION = 8.0
+    #: Fraction of BRAM usable for pinned parameters.
+    RESIDENT_BRAM_FRAC = 0.8
+
+    def __init__(self, spec: FPGASpec) -> None:
+        self.spec = spec
+
+    # -- resource model ------------------------------------------------------
+
+    def resources(self, kernel: Kernel, config: ImplConfig) -> ResourceUsage:
+        """Estimate post-P&R resource usage of an implementation."""
+        lanes = config.parallel_lanes
+        op_kind = kernel.workload_summary().op_kind
+        dsp = int(math.ceil(lanes * self.DSP_PER_LANE.get(op_kind, 2.0)))
+        # Buffers: double-buffering doubles them; BRAM partitioning into P
+        # ports replicates control but not capacity (adds ~10% per port).
+        buffer_bytes = self._buffer_bytes(kernel, config)
+        logic = (
+            self.SHELL_LOGIC_K
+            + lanes * self.LOGIC_K_PER_LANE
+            + 2.0 * config.bram_ports
+            + (15.0 if config.pipelined else 5.0)
+        )
+        return ResourceUsage(dsp=dsp, bram_bytes=buffer_bytes, logic_cells_k=logic)
+
+    def _buffer_bytes(self, kernel: Kernel, config: ImplConfig) -> int:
+        """On-chip buffer footprint."""
+        # Working set: per-lane tiles of the kernel's intermediate data.
+        ws = kernel.intermediate_bytes if config.fused else kernel.io_bytes // 16
+        ws = max(ws, 4096)
+        if config.double_buffer:
+            ws *= 2
+        # Port replication adds control/duplication overhead; the HLS tool
+        # tiles the working set down to fit the part, so cap at capacity.
+        ws *= 1.0 + 0.10 * (config.bram_ports - 1)
+        return int(min(ws, self.spec.bram_bytes * 0.95))
+
+    # -- timing model --------------------------------------------------------
+
+    def achieved_frequency_mhz(self, util: float, config: ImplConfig) -> float:
+        """Post-P&R clock: derates as the fabric fills (routing pressure)."""
+        base = self.spec.peak_freq_mhz * self.spec.achievable_freq_frac
+        if util > 0.7:
+            base *= 1.0 - 0.35 * (util - 0.7) / 0.3
+        return base * config.freq_scale
+
+    def estimate(
+        self, kernel: Kernel, config: ImplConfig, batch: int = 1
+    ) -> FPGAPerformanceEstimate:
+        """Estimate latency/power/resources for ``batch`` invocations.
+
+        Unlike GPUs, FPGAs stream requests through a customized pipeline:
+        batching does not change occupancy, it only multiplies the steady
+        state iterations (Section VI-B's IR discussion).
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        res = self.resources(kernel, config)
+        util = min(res.utilization(self.spec), 1.0)
+        freq_mhz = self.achieved_frequency_mhz(util, config)
+
+        lanes = config.parallel_lanes
+        # Throughput: `lanes` MACs per cycle when pipelined at II=1;
+        # otherwise the loop nest restarts every UNPIPELINED_II cycles.
+        ii = 1.0 if config.pipelined else self.UNPIPELINED_II
+        # BRAM bandwidth must feed the lanes: each port sustains ~1 word
+        # per cycle; starved lanes raise the effective II.
+        # Each partitioned bank is dual-ported and delivers a wide word
+        # (vector of 16 operands) per cycle.
+        feeds = config.bram_ports * 2.0 * 16.0
+        starvation = max(lanes / feeds, 1.0)
+        eff_ii = ii * starvation
+
+        ops = kernel.total_ops * batch
+        cycles = ops / max(lanes, 1) * eff_ii
+        n_stages = max(len(kernel.patterns), 1)
+        wl = kernel.workload_summary()
+        # Dependent phases only cost a pipeline drain each — the custom
+        # datapath keeps state on chip between phases.
+        fill = self.DEPTH_PER_STAGE * n_stages * max(wl.sequential_steps ** 0.5, 1.0)
+        compute_ms = (cycles + fill) / (freq_mhz * 1e3)
+
+        # Off-chip phase: DDR traffic; double-buffering overlaps it with
+        # compute (coarse-grained pipeline, Section IV-B).  Resident
+        # parameters that fit on chip (after structured compression) are
+        # loaded once and excluded from the steady-state stream; if they
+        # do not fit they must be re-streamed every dependent step.
+        stationary = float(kernel.resident_stationary_bytes)
+        streamed = float(kernel.resident_streamed_bytes)
+        activations = float(kernel.io_bytes) - stationary - streamed
+        if not config.fused:
+            activations += kernel.intermediate_bytes
+        # Stationary weights: pinned in BRAM after structured compression
+        # when they fit (one amortized fill); otherwise re-streamed every
+        # step like on a GPU.  Per-step weights are streamed dense — the
+        # streaming path has no decompressor.
+        compressed = stationary / self.RESIDENT_COMPRESSION
+        if compressed <= self.spec.bram_bytes * self.RESIDENT_BRAM_FRAC:
+            resident_stream = compressed  # one-time fill, amortized
+        else:
+            resident_stream = stationary * wl.sequential_steps
+        resident_stream += streamed * batch
+        bytes_moved = activations * batch + resident_stream
+        bw_eff = 0.75 if config.double_buffer else 0.45
+        memory_ms = bytes_moved / (self.spec.mem_bandwidth_gbps * 1e6 * bw_eff)
+        if config.double_buffer:
+            exec_ms = max(compute_ms, memory_ms) + 0.1 * min(compute_ms, memory_ms)
+        else:
+            exec_ms = compute_ms + memory_ms
+
+        power = self._active_power(util, config)
+        exec_ms *= kernel.latency_bias(self.spec.device_type)
+        return FPGAPerformanceEstimate(
+            latency_ms=exec_ms,
+            active_power_w=power,
+            resources=res,
+            achieved_freq_mhz=freq_mhz,
+            initiation_interval=eff_ii,
+        )
+
+    def _active_power(self, util: float, config: ImplConfig) -> float:
+        """Power ~ proportional to resource utilization [51], plus static."""
+        dynamic_range = self.spec.peak_power_w - self.spec.idle_power_w
+        activity = util * (0.8 if config.pipelined else 0.6)
+        return self.spec.idle_power_w + dynamic_range * activity * config.freq_scale ** 2
+
+    def feasible(self, kernel: Kernel, config: ImplConfig) -> bool:
+        """Whether the implementation places-and-routes on this part."""
+        return self.resources(kernel, config).fits(self.spec)
+
+    def idle_power_w(self) -> float:
+        """Power with an idle (minimal) bitstream loaded."""
+        return self.spec.idle_power_w
+
+    def reconfiguration_ms(self) -> float:
+        """Cost of swapping the loaded kernel implementation."""
+        return self.spec.reconfig_ms
+
+    def __repr__(self) -> str:
+        return f"<FPGAModel {self.spec.name!r}>"

@@ -1,0 +1,59 @@
+"""PCIe data-transfer model.
+
+The runtime scheduler's priority function (Eq. 2) charges ``T(e_ij)``
+for moving the intermediate tensor between kernels when producer and
+consumer land on different accelerators; the transfer time depends on
+the data volume and the available PCIe bandwidth (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PCIeLink"]
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A host<->device PCIe link (default: Gen3 x8, as on the 7V3 board).
+
+    ``efficiency`` captures protocol/DMA overhead on sustained copies.
+    """
+
+    gen: int = 3
+    lanes: int = 8
+    latency_us: float = 5.0
+    efficiency: float = 0.80
+
+    #: Per-lane raw bandwidth by generation, GB/s (after encoding).
+    _GEN_GBPS_PER_LANE = {1: 0.25, 2: 0.5, 3: 0.985, 4: 1.969}
+
+    def __post_init__(self) -> None:
+        if self.gen not in self._GEN_GBPS_PER_LANE:
+            raise ValueError(f"unsupported PCIe gen {self.gen}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Sustained bandwidth in GB/s."""
+        return self._GEN_GBPS_PER_LANE[self.gen] * self.lanes * self.efficiency
+
+    def transfer_ms(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across the link, in milliseconds.
+
+        This is the ``T(e_ij)`` term of Eq. 2.  Device-to-device copies
+        bounce through host memory, so callers double it when both
+        endpoints are accelerators on the same root complex.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_us / 1e3 + nbytes / (self.bandwidth_gbps * 1e6)
+
+    def device_to_device_ms(self, nbytes: float) -> float:
+        """Accelerator-to-accelerator transfer (through host DRAM)."""
+        return 2.0 * self.transfer_ms(nbytes) - self.latency_us / 1e3

@@ -1,0 +1,194 @@
+"""Hardware platform specifications (Tables IV and V of the paper).
+
+Columns reproduced directly from the paper are documented as such; the
+few modelling parameters the paper does not tabulate (memory bandwidth,
+idle power, launch overheads) are filled with the public datasheet
+values for the same parts, since the analytical models need them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "DeviceType",
+    "GPUSpec",
+    "FPGASpec",
+    "AMD_W9100",
+    "NVIDIA_K20",
+    "XILINX_ZCU102",
+    "XILINX_7V3",
+    "INTEL_ARRIA10",
+    "GPU_SPECS",
+    "FPGA_SPECS",
+    "spec_by_name",
+]
+
+
+class DeviceType(enum.Enum):
+    """Accelerator families Poly schedules across."""
+
+    GPU = "gpu"
+    FPGA = "fpga"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU platform (Table IV) plus datasheet modelling parameters."""
+
+    name: str
+    cores: int                  # Table IV "Cores"
+    peak_freq_mhz: float        # Table IV "Peak Frequency"
+    memory_gb: float            # Table IV "Memory"
+    peak_power_w: float         # Table IV "Peak Power"
+    process: str                # Table IV "Manufacturing Process"
+    price_usd: float            # Table IV "Price"
+    # -- datasheet-derived modelling parameters --
+    mem_bandwidth_gbps: float   # off-chip bandwidth, GB/s
+    idle_power_w: float         # idle board power
+    launch_overhead_ms: float   # kernel launch + driver overhead
+    scratchpad_kb_per_cu: float = 64.0  # local memory per compute unit
+
+    device_type: DeviceType = DeviceType.GPU
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s (2 FLOPs/cycle FMA per core)."""
+        return self.cores * 2 * self.peak_freq_mhz / 1e3
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """One FPGA platform (Table V) plus datasheet modelling parameters."""
+
+    name: str
+    peak_freq_mhz: float        # Table V "Peak Frequency"
+    peak_power_w: float         # Table V "Peak Power"
+    logic_cells_k: float        # Table V "Logic Cells" (thousands)
+    bram_mb: float              # Table V "BRAMs"
+    dsp_slices: int             # Table V "DSP Slices"
+    process: str                # Table V "Manufacturing Process"
+    price_usd: float            # Table V "Price"
+    # -- datasheet-derived modelling parameters --
+    mem_bandwidth_gbps: float   # DDR bandwidth on the board
+    idle_power_w: float         # static + board power with idle fabric
+    reconfig_ms: float          # partial-reconfiguration latency
+    achievable_freq_frac: float = 0.75  # post-P&R frequency derating
+
+    device_type: DeviceType = DeviceType.FPGA
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak GFLOP/s assuming one MAC (2 FLOPs) per DSP per cycle at the
+        post-P&R achievable frequency."""
+        return (
+            self.dsp_slices
+            * 2
+            * self.peak_freq_mhz
+            * self.achievable_freq_frac
+            / 1e3
+        )
+
+    @property
+    def bram_bytes(self) -> int:
+        return int(self.bram_mb * 1024 * 1024)
+
+
+# --------------------------------------------------------------------------
+# Table IV: GPU Platform Specifications
+# --------------------------------------------------------------------------
+
+AMD_W9100 = GPUSpec(
+    name="AMD FirePro W9100",
+    cores=2816,
+    peak_freq_mhz=930.0,
+    memory_gb=32.0,
+    peak_power_w=270.0,
+    process="TSMC 28nm",
+    price_usd=4999.0,
+    mem_bandwidth_gbps=320.0,
+    idle_power_w=62.0,
+    launch_overhead_ms=0.08,
+)
+
+NVIDIA_K20 = GPUSpec(
+    name="NVIDIA Tesla K20",
+    cores=2496,
+    peak_freq_mhz=706.0,
+    memory_gb=5.0,
+    peak_power_w=225.0,
+    process="TSMC 28nm",
+    price_usd=2999.0,
+    mem_bandwidth_gbps=208.0,
+    idle_power_w=47.0,
+    launch_overhead_ms=0.06,
+)
+
+# --------------------------------------------------------------------------
+# Table V: FPGA Platform Specifications
+# --------------------------------------------------------------------------
+
+XILINX_ZCU102 = FPGASpec(
+    name="Xilinx Zynq UltraScale+ ZCU102",
+    peak_freq_mhz=333.0,
+    peak_power_w=30.0,
+    logic_cells_k=600.0,
+    bram_mb=4.0,
+    dsp_slices=2520,
+    process="TSMC 16nm",
+    price_usd=2495.0,
+    mem_bandwidth_gbps=19.2,
+    idle_power_w=8.0,
+    reconfig_ms=20.0,
+)
+
+XILINX_7V3 = FPGASpec(
+    name="Xilinx Virtex7-690t ADM-PCIE-7V3",
+    peak_freq_mhz=470.0,
+    peak_power_w=45.0,
+    logic_cells_k=693.0,
+    bram_mb=6.5,
+    dsp_slices=3600,
+    process="TSMC 28nm",
+    price_usd=3200.0,
+    mem_bandwidth_gbps=21.3,
+    idle_power_w=10.0,
+    reconfig_ms=25.0,
+)
+
+INTEL_ARRIA10 = FPGASpec(
+    name="Intel Arria 10 GX115",
+    peak_freq_mhz=800.0,
+    peak_power_w=65.0,
+    logic_cells_k=1150.0,  # GX1150 ALMs; the paper's "43K" is a typo
+    bram_mb=8.2,
+    dsp_slices=1518,
+    process="TSMC 20nm",
+    price_usd=4495.0,
+    mem_bandwidth_gbps=34.1,
+    idle_power_w=14.0,
+    reconfig_ms=35.0,
+    achievable_freq_frac=0.55,  # 800 MHz is the DSP Fmax, fabric runs lower
+)
+
+GPU_SPECS: Dict[str, GPUSpec] = {
+    AMD_W9100.name: AMD_W9100,
+    NVIDIA_K20.name: NVIDIA_K20,
+}
+
+FPGA_SPECS: Dict[str, FPGASpec] = {
+    XILINX_ZCU102.name: XILINX_ZCU102,
+    XILINX_7V3.name: XILINX_7V3,
+    INTEL_ARRIA10.name: INTEL_ARRIA10,
+}
+
+
+def spec_by_name(name: str):
+    """Look up any platform spec by its full name."""
+    if name in GPU_SPECS:
+        return GPU_SPECS[name]
+    if name in FPGA_SPECS:
+        return FPGA_SPECS[name]
+    raise KeyError(f"unknown platform {name!r}")

@@ -1,0 +1,32 @@
+"""Compile-time optimization: Table-I knobs, local/global passes, DSE.
+
+Implements Poly's offline kernel analysis component (Section IV): the
+per-pattern optimization options, the local and global optimization
+passes, analytical-model-driven design space exploration and Pareto
+frontier extraction.
+"""
+
+from .design_point import DesignPoint, KernelDesignSpace
+from .dse import enumerate_configs, explore_application, explore_kernel
+from .global_opt import FusionDecision, GlobalOptimizer, GlobalPlan
+from .knobs import applicable_knobs, knob_candidates
+from .local_opt import LocalOptimizer, LocalPlan
+from .pareto import dominated_fraction, hypervolume_2d, pareto_front
+
+__all__ = [
+    "DesignPoint",
+    "KernelDesignSpace",
+    "explore_kernel",
+    "explore_application",
+    "enumerate_configs",
+    "LocalOptimizer",
+    "LocalPlan",
+    "GlobalOptimizer",
+    "GlobalPlan",
+    "FusionDecision",
+    "knob_candidates",
+    "applicable_knobs",
+    "pareto_front",
+    "dominated_fraction",
+    "hypervolume_2d",
+]

@@ -1,0 +1,136 @@
+"""Model-driven design space exploration (Section IV-C).
+
+Exhaustive evaluation of every knob combination would take "tens of
+hours" with real toolchains; the paper instead navigates with the
+analytical models, reducing exploration to seconds.  We do the same:
+enumerate the pruned local space crossed with the global options,
+evaluate every combination with the GPU/FPGA analytical model, drop
+infeasible FPGA points, and optionally subsample to a target size (the
+per-kernel design counts of Table II).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..hardware import FPGAModel, GPUModel, ImplConfig, model_for
+from ..hardware.specs import DeviceType, FPGASpec, GPUSpec
+from ..patterns.ppg import Kernel
+from .design_point import DesignPoint, KernelDesignSpace
+from .global_opt import GlobalOptimizer
+from .local_opt import LocalOptimizer
+
+__all__ = ["explore_kernel", "explore_application", "enumerate_configs"]
+
+
+def enumerate_configs(kernel: Kernel, spec) -> List[ImplConfig]:
+    """Enumerate candidate implementations after local+global pruning.
+
+    The local pass supplies per-knob candidates and forced values; the
+    global pass decides whether a fused variant is worth exploring
+    (doubling the space when it is).
+    """
+    local = LocalOptimizer(spec.device_type).plan(kernel)
+    global_plan = GlobalOptimizer(spec).plan(kernel)
+
+    fused_options = (False, True) if global_plan.worthwhile else (False,)
+    names = sorted(local.candidates)
+    value_lists = [local.candidates[n] for n in names]
+
+    configs: List[ImplConfig] = []
+    for values in itertools.product(*value_lists):
+        assignment = dict(zip(names, values))
+        assignment.update(local.forced)
+        for fused in fused_options:
+            configs.append(ImplConfig(fused=fused, **assignment))
+    return configs
+
+
+def _evaluate(
+    kernel: Kernel, spec, configs: Sequence[ImplConfig]
+) -> List[DesignPoint]:
+    """Run the analytical model over the candidates, dropping infeasible
+    FPGA points (designs that do not place on the part)."""
+    model = model_for(spec)
+    points: List[DesignPoint] = []
+    for config in configs:
+        if spec.device_type == DeviceType.FPGA and not model.feasible(kernel, config):
+            continue
+        est = model.estimate(kernel, config)
+        points.append(
+            DesignPoint(
+                kernel_name=kernel.name,
+                platform=spec.name,
+                device_type=spec.device_type,
+                config=config,
+                latency_ms=est.latency_ms,
+                power_w=est.active_power_w,
+            )
+        )
+    return points
+
+
+def _subsample(points: List[DesignPoint], target: int) -> List[DesignPoint]:
+    """Deterministically thin a design space to ``target`` points.
+
+    Keeps the Pareto-relevant extremes by sampling evenly across the
+    latency-sorted list — the paper's spaces (Table II) are similarly
+    curated subsets of the raw combinatorial space.
+    """
+    if len(points) <= target:
+        return points
+    ordered = sorted(points, key=lambda p: (p.latency_ms, p.power_w))
+    step = (len(ordered) - 1) / (target - 1)
+    picked = [ordered[round(i * step)] for i in range(target)]
+    # Rounding can collide; dedupe while preserving order.
+    seen, unique = set(), []
+    for p in picked:
+        key = id(p)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def explore_kernel(
+    kernel: Kernel,
+    spec,
+    target_points: Optional[int] = None,
+) -> KernelDesignSpace:
+    """Explore one kernel on one platform; returns its design space.
+
+    ``target_points`` mirrors Table II's per-kernel design counts; when
+    given, the evaluated space is thinned to that size.
+    """
+    configs = enumerate_configs(kernel, spec)
+    points = _evaluate(kernel, spec, configs)
+    if not points:
+        raise RuntimeError(
+            f"no feasible design for kernel {kernel.name!r} on {spec.name!r}"
+        )
+    if target_points is not None:
+        points = _subsample(points, target_points)
+    return KernelDesignSpace(kernel.name, spec.name, spec.device_type, points)
+
+
+def explore_application(
+    kernels: Sequence[Kernel],
+    specs: Sequence,
+    targets: Optional[Dict[Tuple[str, DeviceType], int]] = None,
+) -> Dict[Tuple[str, str], KernelDesignSpace]:
+    """Explore every kernel of an application on every platform.
+
+    Returns ``{(kernel_name, platform_name): KernelDesignSpace}`` — the
+    complete compile-time product the runtime scheduler loads.
+    """
+    spaces: Dict[Tuple[str, str], KernelDesignSpace] = {}
+    for kernel in kernels:
+        for spec in specs:
+            target = None
+            if targets is not None:
+                target = targets.get((kernel.name, spec.device_type))
+            spaces[(kernel.name, spec.name)] = explore_kernel(
+                kernel, spec, target_points=target
+            )
+    return spaces

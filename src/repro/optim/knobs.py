@@ -1,0 +1,115 @@
+"""Optimization knobs per parallel pattern and platform (Table I).
+
+Table I of the paper lists, for every parallel pattern, which
+optimizations apply on GPUs and which on FPGAs.  This module encodes
+that table: given the pattern kinds present in a kernel and the target
+device family, it produces the candidate values for every applicable
+knob of :class:`~repro.hardware.config.ImplConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..patterns.annotations import PatternKind
+from ..hardware.specs import DeviceType
+
+__all__ = [
+    "GPU_KNOBS_BY_PATTERN",
+    "FPGA_KNOBS_BY_PATTERN",
+    "knob_candidates",
+    "applicable_knobs",
+]
+
+# ---------------------------------------------------------------------------
+# Which knobs each pattern enables (Table I, "Optimization on Hardware
+# Platforms" columns).  Knob names match ImplConfig fields.
+# ---------------------------------------------------------------------------
+
+GPU_KNOBS_BY_PATTERN: Dict[PatternKind, FrozenSet[str]] = {
+    PatternKind.MAP: frozenset({"work_group_size", "unroll"}),          # wg size, TLP
+    PatternKind.REDUCE: frozenset({"unroll", "pipelined"}),             # serial/tree, sw pipeline, unroll
+    PatternKind.SCAN: frozenset({"use_scratchpad", "memory_coalescing"}),
+    PatternKind.STENCIL: frozenset({"use_scratchpad", "work_group_size", "unroll"}),
+    PatternKind.PIPELINE: frozenset({"pipelined"}),                     # register reuse, sw pipeline, pipes
+    PatternKind.GATHER: frozenset({"use_scratchpad", "memory_coalescing"}),
+    PatternKind.SCATTER: frozenset({"use_scratchpad", "memory_coalescing"}),
+    PatternKind.TILING: frozenset({"work_group_size"}),
+    PatternKind.PACK: frozenset({"work_group_size", "memory_coalescing"}),
+}
+
+FPGA_KNOBS_BY_PATTERN: Dict[PatternKind, FrozenSet[str]] = {
+    PatternKind.MAP: frozenset(
+        {"work_group_size", "compute_units", "unroll", "bram_ports"}
+    ),
+    PatternKind.REDUCE: frozenset({"pipelined", "bram_ports", "unroll"}),
+    PatternKind.SCAN: frozenset({"unroll", "bram_ports"}),
+    PatternKind.STENCIL: frozenset(
+        {"double_buffer", "work_group_size", "compute_units", "unroll"}
+    ),
+    PatternKind.PIPELINE: frozenset({"pipelined"}),                     # hw pipeline, pipes
+    PatternKind.GATHER: frozenset({"double_buffer"}),                   # + burst access
+    PatternKind.SCATTER: frozenset({"double_buffer"}),
+    PatternKind.TILING: frozenset({"work_group_size"}),
+    PatternKind.PACK: frozenset({"pipelined", "bram_ports"}),
+}
+
+# ---------------------------------------------------------------------------
+# Candidate values per knob per device family.  DVFS levels come from the
+# DVFSPolicy ladders so that compile-time points line up with the runtime
+# operating points.
+# ---------------------------------------------------------------------------
+
+_GPU_CANDIDATES: Dict[str, Tuple] = {
+    "work_group_size": (64, 128, 256, 512),
+    "unroll": (1, 2, 4, 8),
+    "use_scratchpad": (False, True),
+    "memory_coalescing": (False, True),
+    "pipelined": (False, True),
+    "freq_scale": (1.0, 0.8, 0.62, 0.45),
+}
+
+_FPGA_CANDIDATES: Dict[str, Tuple] = {
+    "work_group_size": (64, 256),
+    "unroll": (1, 4, 16, 32),
+    "compute_units": (1, 2, 4, 8),
+    "bram_ports": (1, 4, 16, 32),
+    "pipelined": (False, True),
+    "double_buffer": (False, True),
+    "freq_scale": (1.0, 0.75, 0.5),
+}
+
+
+def applicable_knobs(
+    kinds: Sequence[PatternKind], device_type: DeviceType
+) -> FrozenSet[str]:
+    """Union of Table-I knobs enabled by the given pattern kinds.
+
+    ``freq_scale`` is always applicable: DVFS is a platform feature, not
+    a code transformation.
+    """
+    table = (
+        GPU_KNOBS_BY_PATTERN
+        if device_type == DeviceType.GPU
+        else FPGA_KNOBS_BY_PATTERN
+    )
+    knobs = set()
+    for kind in kinds:
+        knobs |= table[kind]
+    knobs.add("freq_scale")
+    return frozenset(knobs)
+
+
+def knob_candidates(
+    kinds: Sequence[PatternKind], device_type: DeviceType
+) -> Dict[str, Tuple]:
+    """Candidate values for every knob applicable to this kernel.
+
+    Inapplicable knobs are pinned to their ImplConfig defaults by simply
+    being absent from the returned dict.
+    """
+    candidates = (
+        _GPU_CANDIDATES if device_type == DeviceType.GPU else _FPGA_CANDIDATES
+    )
+    active = applicable_knobs(kinds, device_type)
+    return {name: values for name, values in candidates.items() if name in active}

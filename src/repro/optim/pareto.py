@@ -1,0 +1,79 @@
+"""Pareto-frontier utilities.
+
+The DSE keeps only points interesting for the runtime trade-off between
+latency, throughput and power (Section IV-C).  These helpers are shared
+by the design-space container, the scheduler and the experiment
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["pareto_front", "dominated_fraction", "hypervolume_2d"]
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Callable[[T], Tuple[float, float]],
+) -> List[T]:
+    """2-D minimization Pareto frontier of ``items``.
+
+    ``objectives`` maps an item to ``(f1, f2)``; both are minimized.
+    Returns the frontier sorted by ascending ``f1``.  Duplicate points
+    keep their first occurrence.
+    """
+    decorated = sorted(
+        ((objectives(it), i, it) for i, it in enumerate(items)),
+        key=lambda t: (t[0][0], t[0][1], t[1]),
+    )
+    front: List[T] = []
+    best_f2 = float("inf")
+    for (f1, f2), _, item in decorated:
+        if f2 < best_f2:
+            front.append(item)
+            best_f2 = f2
+    return front
+
+
+def dominated_fraction(
+    items: Sequence[T],
+    objectives: Callable[[T], Tuple[float, float]],
+) -> float:
+    """Fraction of items strictly dominated by some other item."""
+    if not items:
+        return 0.0
+    front = set(map(id, pareto_front(items, objectives)))
+    # Frontier membership is necessary but not sufficient for
+    # non-domination only in the presence of ties on f1; treat frontier
+    # points as non-dominated (consistent with pareto_front semantics).
+    return 1.0 - len(front) / len(items)
+
+
+def hypervolume_2d(
+    items: Sequence[T],
+    objectives: Callable[[T], Tuple[float, float]],
+    reference: Tuple[float, float],
+) -> float:
+    """Hypervolume (area) dominated by ``items`` up to ``reference``.
+
+    A standard DSE quality metric: larger is a better frontier.  Both
+    objectives are minimized and must not exceed the reference point.
+    """
+    front = pareto_front(items, objectives)
+    if not front:
+        return 0.0
+    rx, ry = reference
+    area = 0.0
+    prev_y = ry
+    for item in front:
+        x, y = objectives(item)
+        if x > rx or y > ry:
+            continue
+        area += (rx - x) * (prev_y - y) if prev_y > y else 0.0
+        # Width accounted from this x to the reference; subsequent points
+        # only add the strip below the current best y.
+        prev_y = min(prev_y, y)
+    return area

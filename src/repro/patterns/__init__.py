@@ -1,0 +1,60 @@
+"""Parallel pattern layer: annotations, CDFG, PPG and automatic analysis.
+
+This package implements Poly's compile-time kernel representation
+(Section IV-A of the paper): the nine parallel patterns, the parallel
+pattern graph per kernel, the per-pattern control-data-flow graphs and
+the automatic parallelism/communication analysis.
+"""
+
+from .annotations import (
+    Gather,
+    Map,
+    Pack,
+    Pattern,
+    PatternKind,
+    Pipeline,
+    Reduce,
+    Scan,
+    Scatter,
+    Stencil,
+    Tensor,
+    Tiling,
+    Workload,
+    make_pattern,
+)
+from .analysis import (
+    CommunicationProfile,
+    KernelAnalysis,
+    PatternProfile,
+    analyze_kernel,
+)
+from .cdfg import CDFG, Operator, OpKind, lower_pattern
+from .ppg import PPG, Kernel, PPGEdge
+
+__all__ = [
+    "PatternKind",
+    "Tensor",
+    "Workload",
+    "Pattern",
+    "Map",
+    "Reduce",
+    "Scan",
+    "Stencil",
+    "Pipeline",
+    "Gather",
+    "Scatter",
+    "Tiling",
+    "Pack",
+    "make_pattern",
+    "CDFG",
+    "Operator",
+    "OpKind",
+    "lower_pattern",
+    "PPG",
+    "PPGEdge",
+    "Kernel",
+    "KernelAnalysis",
+    "PatternProfile",
+    "CommunicationProfile",
+    "analyze_kernel",
+]

@@ -1,0 +1,527 @@
+"""Parallel pattern annotations (Poly, Section IV-A, Table I).
+
+Poly abstracts OpenCL kernels as compositions of nine parallel patterns:
+``Map``, ``Reduce``, ``Scan``, ``Stencil``, ``Pipeline``, ``Gather``,
+``Scatter``, ``Tiling`` and ``Pack``.  Each pattern carries a *workload
+descriptor* — the computational footprint the hardware models consume —
+and exposes the data/compute parallelism estimates used by the automatic
+pattern analysis (Section IV-A of the paper).
+
+Programmers compose kernels either programmatically::
+
+    from repro.patterns import Map, Reduce, Tensor
+
+    x = Tensor("x", (1024, 256))
+    m = Map(x, func="sigmoid", ops_per_element=4)
+    r = Reduce(m.output, func="add")
+
+or through the annotated pseudo-OpenCL frontend in :mod:`repro.frontend`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "PatternKind",
+    "Tensor",
+    "Workload",
+    "Pattern",
+    "Map",
+    "Reduce",
+    "Scan",
+    "Stencil",
+    "Pipeline",
+    "Gather",
+    "Scatter",
+    "Tiling",
+    "Pack",
+    "PATTERN_CLASSES",
+]
+
+
+class PatternKind(enum.Enum):
+    """The nine parallel patterns defined by Poly (Fig. 3 of the paper)."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+    SCAN = "scan"
+    STENCIL = "stencil"
+    PIPELINE = "pipeline"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    TILING = "tiling"
+    PACK = "pack"
+
+    @classmethod
+    def from_name(cls, name: str) -> "PatternKind":
+        """Resolve a (case-insensitive) pattern name to its kind.
+
+        Raises :class:`ValueError` for unknown names so that frontend
+        errors surface at annotation time rather than during DSE.
+        """
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(k.value for k in cls)
+            raise ValueError(
+                f"unknown parallel pattern {name!r}; expected one of: {valid}"
+            ) from None
+
+
+_DTYPE_BYTES = {
+    "fp16": 2,
+    "fp32": 4,
+    "fp64": 8,
+    "int8": 1,
+    "int16": 2,
+    "int32": 4,
+    "int64": 8,
+    "uint8": 1,
+}
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A named, shaped data collection flowing between patterns.
+
+    In OpenCL terms a :class:`Tensor` is a buffer in global memory (or,
+    after fusion, in on-chip scratchpad/BRAM).  Only the metadata needed
+    for performance modelling is kept: shape and element type.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "fp32"
+    #: Parameter/state tensors (weights, lookup tables) that persist
+    #: across invocations.  They are read every sequential step of a
+    #: recurrent kernel: a GPU must re-stream them from DRAM per step
+    #: (no cache fits them), while an FPGA can pin a compressed copy in
+    #: BRAM — the ESE/C-LSTM asymmetry the hardware models exploit.
+    resident: bool = False
+    #: For resident tensors: True when the *same* values are reused by
+    #: every sequential step (LSTM weights), so an FPGA loads them once;
+    #: False when each step uses a different slice (per-layer FC
+    #: weights), which must be streamed per step on every platform.
+    stationary: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have a non-empty shape")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r} has non-positive dim: {self.shape}")
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"tensor {self.name!r} has unknown dtype {self.dtype!r}")
+
+    @property
+    def elements(self) -> int:
+        """Total number of scalar elements."""
+        return math.prod(self.shape)
+
+    @property
+    def dtype_bytes(self) -> int:
+        """Bytes per element."""
+        return _DTYPE_BYTES[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.elements * self.dtype_bytes
+
+    def with_shape(self, shape: Tuple[int, ...], suffix: str = "_out") -> "Tensor":
+        """Derive an output tensor with a new shape (never resident)."""
+        return Tensor(self.name + suffix, shape, self.dtype)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Computational footprint of one pattern instance.
+
+    This is what the analytical hardware models consume: arithmetic
+    operations, off-chip traffic, and available parallelism.  It is
+    produced by the pattern classes from their tensor arguments and the
+    ``ops_per_element`` hint, mirroring Poly's automatic pattern
+    analysis (Section IV-A).
+    """
+
+    elements: int
+    ops_per_element: float
+    bytes_in: int
+    bytes_out: int
+    op_kind: str = "fp32"
+    #: Fraction of memory accesses that are sequential/coalescable before
+    #: optimization; Gather/Scatter have low values, Map/Reduce high.
+    access_regularity: float = 1.0
+    #: Number of *dependent* sequential phases (e.g. LSTM time steps).
+    #: Work inside a phase is parallel; phases serialize.  GPUs pay per-
+    #: phase sync/launch costs and see only a phase's worth of
+    #: parallelism; FPGA pipelines stream phases through the fabric.
+    sequential_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ValueError("workload must cover at least one element")
+        if self.ops_per_element < 0:
+            raise ValueError("ops_per_element must be non-negative")
+        if not 0.0 <= self.access_regularity <= 1.0:
+            raise ValueError("access_regularity must lie in [0, 1]")
+        if self.sequential_steps < 1:
+            raise ValueError("sequential_steps must be >= 1")
+
+    @property
+    def total_ops(self) -> float:
+        """Total arithmetic operations."""
+        return self.elements * self.ops_per_element
+
+    @property
+    def total_bytes(self) -> int:
+        """Total off-chip bytes moved (before fusion)."""
+        return self.bytes_in + self.bytes_out
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per off-chip byte (roofline x-axis)."""
+        return self.total_ops / max(self.total_bytes, 1)
+
+
+_pattern_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class Pattern:
+    """Base class for all parallel pattern instances.
+
+    Subclasses set :attr:`kind` and compute the output tensor plus the
+    parallelism estimates.  Every instance gets a unique ``uid`` so that
+    two structurally identical patterns remain distinct PPG nodes.
+    """
+
+    inputs: Tuple[Tensor, ...]
+    func: str = "identity"
+    ops_per_element: float = 1.0
+    kind: PatternKind = field(init=False)
+    uid: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError(f"{type(self).__name__} needs at least one input tensor")
+        self.uid = next(_pattern_ids)
+
+    # -- interface the analysis layer relies on ---------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}#{self.uid}({self.func})"
+
+    @property
+    def output(self) -> Tensor:
+        """Output tensor (default: same shape as first input)."""
+        return self.inputs[0].with_shape(self.inputs[0].shape)
+
+    @property
+    def workload(self) -> Workload:
+        """Workload descriptor for the hardware models."""
+        bytes_in = sum(t.nbytes for t in self.inputs)
+        return Workload(
+            elements=self.output.elements,
+            ops_per_element=self.ops_per_element,
+            bytes_in=bytes_in,
+            bytes_out=self.output.nbytes,
+            op_kind=self.inputs[0].dtype,
+            access_regularity=self._access_regularity(),
+        )
+
+    @property
+    def data_parallelism(self) -> int:
+        """Independent data lanes (Section IV-A: from buffer capacity,
+        data type and access pattern)."""
+        return self.output.elements
+
+    @property
+    def compute_parallelism(self) -> int:
+        """Independent operator instances available per step."""
+        return self.data_parallelism
+
+    def _access_regularity(self) -> float:
+        return 1.0
+
+    def __hash__(self) -> int:  # identity hash: patterns are graph nodes
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Map(Pattern):
+    """``Map(inputs, func)`` — replicate ``func`` over independent elements.
+
+    Natural fit for GPU SIMD lanes and FPGA parallel compute units
+    (Table I row 1).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.MAP
+
+
+class Reduce(Pattern):
+    """``Reduce(inputs, func)`` — combine all elements with an associative
+    combiner into a single element (Table I row 2)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.REDUCE
+
+    @property
+    def output(self) -> Tensor:
+        return self.inputs[0].with_shape((1,), suffix="_red")
+
+    @property
+    def workload(self) -> Workload:
+        n = self.inputs[0].elements
+        return Workload(
+            elements=n,
+            ops_per_element=self.ops_per_element,
+            bytes_in=sum(t.nbytes for t in self.inputs),
+            bytes_out=self.output.nbytes,
+            op_kind=self.inputs[0].dtype,
+        )
+
+    @property
+    def compute_parallelism(self) -> int:
+        # Tree reduction: at most n/2 combiners run in parallel.
+        return max(self.inputs[0].elements // 2, 1)
+
+
+class Scan(Pattern):
+    """``Scan(inputs, func)`` — like Reduce but returns every intermediate
+    accumulation (prefix sum).  Output shape matches the input."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.SCAN
+
+    @property
+    def compute_parallelism(self) -> int:
+        # Work-efficient scan exposes ~n/2 parallelism per sweep but needs
+        # log(n) sweeps; report the per-sweep figure.
+        return max(self.inputs[0].elements // 2, 1)
+
+
+@dataclass(eq=False)
+class Stencil(Pattern):
+    """``Stencil(inputs, func, list)`` — Map generalized to neighbourhood
+    access; ``neighborhood`` is the index-offset list from Table I."""
+
+    neighborhood: Tuple[Tuple[int, ...], ...] = ((0,),)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.STENCIL
+        if not self.neighborhood:
+            raise ValueError("stencil needs a non-empty neighborhood list")
+
+    @property
+    def taps(self) -> int:
+        """Number of neighbouring elements each output reads."""
+        return len(self.neighborhood)
+
+    @property
+    def workload(self) -> Workload:
+        base = super().workload
+        # Each output element reads `taps` inputs; reuse captured later by
+        # scratchpad/double-buffer optimizations, so count raw traffic here.
+        return Workload(
+            elements=base.elements,
+            ops_per_element=self.ops_per_element * self.taps,
+            bytes_in=base.bytes_in * self.taps,
+            bytes_out=base.bytes_out,
+            op_kind=base.op_kind,
+            access_regularity=0.8,
+        )
+
+    def _access_regularity(self) -> float:
+        return 0.8
+
+
+@dataclass(eq=False)
+class Pipeline(Pattern):
+    """``Pipeline(inputs, func0, func1, ...)`` — producer/consumer stages
+    all active at once; stages may hold state (Table I row 5)."""
+
+    stages: Tuple[str, ...] = ("stage0",)
+    ops_per_stage: float = 1.0
+    #: Dependent sequential iterations the pipeline streams through
+    #: (e.g. LSTM time steps): state produced by one iteration feeds the
+    #: next, so iterations cannot run concurrently on a GPU.
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.PIPELINE
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.func = "+".join(self.stages)
+
+    @property
+    def depth(self) -> int:
+        """Number of pipeline stages."""
+        return len(self.stages)
+
+    @property
+    def workload(self) -> Workload:
+        return Workload(
+            elements=self.inputs[0].elements,
+            ops_per_element=self.ops_per_stage * self.depth,
+            bytes_in=sum(t.nbytes for t in self.inputs),
+            bytes_out=self.output.nbytes,
+            op_kind=self.inputs[0].dtype,
+            sequential_steps=self.iterations,
+        )
+
+    @property
+    def compute_parallelism(self) -> int:
+        # Per sequential iteration, stage-level plus per-stage element
+        # concurrency is available.
+        return max(self.inputs[0].elements // self.iterations, 1) * self.depth
+
+
+@dataclass(eq=False)
+class Gather(Pattern):
+    """``Gather(inputs, list)`` — indexed reads: Map + random serial read.
+
+    ``index_space`` is the number of gathered elements.  Random access
+    defeats coalescing until the memory-coalescing / burst optimization
+    is applied (Table I row 6)."""
+
+    index_space: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.GATHER
+
+    @property
+    def gathered(self) -> int:
+        return self.index_space or self.inputs[0].elements
+
+    @property
+    def output(self) -> Tensor:
+        return Tensor(
+            self.inputs[0].name + "_gath", (self.gathered,), self.inputs[0].dtype
+        )
+
+    def _access_regularity(self) -> float:
+        return 0.25
+
+
+@dataclass(eq=False)
+class Scatter(Pattern):
+    """``Scatter(inputs, list)`` — the inverse of Gather: indexed writes."""
+
+    index_space: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.SCATTER
+
+    @property
+    def scattered(self) -> int:
+        return self.index_space or self.inputs[0].elements
+
+    @property
+    def output(self) -> Tensor:
+        return Tensor(
+            self.inputs[0].name + "_scat", (self.scattered,), self.inputs[0].dtype
+        )
+
+    def _access_regularity(self) -> float:
+        return 0.25
+
+
+@dataclass(eq=False)
+class Tiling(Pattern):
+    """``Tiling(inputs, [x,y,z], [X,Y,Z])`` — decompose a collection into
+    sub-collections; combined with Stencil/Map etc. (Table I row 8)."""
+
+    tile: Tuple[int, ...] = (1,)
+    grid: Tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.TILING
+        if len(self.tile) != len(self.grid):
+            raise ValueError("tile and grid must have the same rank")
+        if any(t <= 0 for t in self.tile) or any(g <= 0 for g in self.grid):
+            raise ValueError("tile and grid dims must be positive")
+
+    @property
+    def tiles(self) -> int:
+        return math.prod(self.grid)
+
+    @property
+    def tile_elements(self) -> int:
+        return math.prod(self.tile)
+
+    @property
+    def workload(self) -> Workload:
+        base = super().workload
+        # Tiling itself moves data; ops are address arithmetic only.
+        return Workload(
+            elements=base.elements,
+            ops_per_element=max(self.ops_per_element, 0.5),
+            bytes_in=base.bytes_in,
+            bytes_out=base.bytes_out,
+            op_kind=base.op_kind,
+        )
+
+    @property
+    def compute_parallelism(self) -> int:
+        return self.tiles
+
+
+class Pack(Pattern):
+    """``Pack`` — compact/serialize elements (used by FC, Reduce stages in
+    Table II).  Low arithmetic, streaming access."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = PatternKind.PACK
+
+    @property
+    def workload(self) -> Workload:
+        base = super().workload
+        return Workload(
+            elements=base.elements,
+            ops_per_element=max(self.ops_per_element, 0.25),
+            bytes_in=base.bytes_in,
+            bytes_out=base.bytes_out,
+            op_kind=base.op_kind,
+        )
+
+
+PATTERN_CLASSES = {
+    PatternKind.MAP: Map,
+    PatternKind.REDUCE: Reduce,
+    PatternKind.SCAN: Scan,
+    PatternKind.STENCIL: Stencil,
+    PatternKind.PIPELINE: Pipeline,
+    PatternKind.GATHER: Gather,
+    PatternKind.SCATTER: Scatter,
+    PatternKind.TILING: Tiling,
+    PatternKind.PACK: Pack,
+}
+
+
+def make_pattern(kind: PatternKind, inputs: Sequence[Tensor], **kwargs) -> Pattern:
+    """Factory used by the frontend: build a pattern instance by kind."""
+    cls = PATTERN_CLASSES[kind]
+    return cls(tuple(inputs), **kwargs)

@@ -1,0 +1,237 @@
+"""Control-data-flow graphs for parallel patterns (Section IV-A).
+
+Each parallel pattern is lowered to a CDFG where nodes are operators
+(arithmetic ops, customized library calls) or on-chip data buffers, and
+edges carry data dependencies — Fig. 4(b) of the paper.  The CDFG is the
+granularity at which *local* optimizations (loop unrolling, memory
+partitioning, pipelining) transform the kernel.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .annotations import Pattern, PatternKind
+
+__all__ = ["OpKind", "Operator", "CDFG", "lower_pattern"]
+
+
+class OpKind(enum.Enum):
+    """Operator categories appearing in pattern CDFGs."""
+
+    ARITH = "arith"          # add / mul / mac
+    SPECIAL = "special"      # sigmoid / tanh / exp / custom IP core
+    BUFFER = "buffer"        # on-chip data buffer (gray circle in Fig. 4b)
+    LOAD = "load"            # off-chip global-memory read
+    STORE = "store"          # off-chip global-memory write
+    CONTROL = "control"      # loop / branch bookkeeping
+
+
+#: Relative operator latencies in abstract cycles; SPECIAL functions such
+#: as sigmoid are an order of magnitude more expensive than a MAC.
+OP_COST = {
+    OpKind.ARITH: 1.0,
+    OpKind.SPECIAL: 8.0,
+    OpKind.BUFFER: 0.0,
+    OpKind.LOAD: 4.0,
+    OpKind.STORE: 4.0,
+    OpKind.CONTROL: 0.5,
+}
+
+_SPECIAL_FUNCS = frozenset(
+    {
+        "sigmoid", "tanh", "exp", "log", "sqrt", "div", "softmax",
+        "encode", "decode", "prng", "cdf", "gf_mul", "clip",
+    }
+)
+
+
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A single CDFG node: one operator or buffer."""
+
+    name: str
+    kind: OpKind
+    #: Number of dynamic instances of this operator per pattern invocation.
+    trip_count: int = 1
+    uid: int = field(default_factory=lambda: next(_op_ids))
+
+    @property
+    def cost(self) -> float:
+        """Abstract cycle cost of one dynamic instance."""
+        return OP_COST[self.kind]
+
+    @property
+    def total_cost(self) -> float:
+        """Cost across all dynamic instances (serial execution)."""
+        return self.cost * self.trip_count
+
+
+class CDFG:
+    """Control-data-flow graph of one parallel pattern.
+
+    A thin wrapper around :class:`networkx.DiGraph` with the queries the
+    optimizer needs: critical path, operator counts, buffer footprint.
+    """
+
+    def __init__(self, pattern: Optional[Pattern] = None) -> None:
+        self.graph = nx.DiGraph()
+        self.pattern = pattern
+
+    # -- construction ------------------------------------------------------
+
+    def add_operator(self, op: Operator) -> Operator:
+        """Insert an operator node."""
+        self.graph.add_node(op)
+        return op
+
+    def add_dependency(self, src: Operator, dst: Operator) -> None:
+        """Insert a data-dependency edge ``src -> dst``."""
+        if src not in self.graph or dst not in self.graph:
+            raise KeyError("both operators must be added before linking them")
+        self.graph.add_edge(src, dst)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_edge(src, dst)
+            raise ValueError(
+                f"adding dependency {src.name} -> {dst.name} creates a cycle"
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self.graph.nodes)
+
+    def operators_of(self, kind: OpKind) -> List[Operator]:
+        """All operators of the given kind."""
+        return [op for op in self.graph.nodes if op.kind == kind]
+
+    @property
+    def arithmetic_ops(self) -> float:
+        """Total dynamic arithmetic work (ARITH + SPECIAL), in op counts."""
+        return sum(
+            op.trip_count
+            for op in self.graph.nodes
+            if op.kind in (OpKind.ARITH, OpKind.SPECIAL)
+        )
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self.operators_of(OpKind.BUFFER))
+
+    def critical_path_cost(self) -> float:
+        """Longest weighted path through the CDFG, in abstract cycles.
+
+        This is the depth of a fully spatial (FPGA-style) implementation
+        of one pattern iteration.
+        """
+        if self.graph.number_of_nodes() == 0:
+            return 0.0
+        dist: Dict[Operator, float] = {}
+        for op in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(op))
+            best = max((dist[p] for p in preds), default=0.0)
+            dist[op] = best + op.cost
+        return max(dist.values())
+
+    def total_work(self) -> float:
+        """Total dynamic cost, in abstract cycles (fully serial bound)."""
+        return sum(op.total_cost for op in self.graph.nodes)
+
+    @property
+    def ilp(self) -> float:
+        """Instruction-level parallelism: total work / critical path."""
+        cp = self.critical_path_cost()
+        return self.total_work() / cp if cp > 0 else 1.0
+
+    def validate(self) -> None:
+        """Raise if the CDFG violates its structural invariants."""
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError("CDFG must be acyclic")
+        for op in self.graph.nodes:
+            if op.trip_count <= 0:
+                raise ValueError(f"operator {op.name} has non-positive trip count")
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def __repr__(self) -> str:
+        src = self.pattern.name if self.pattern else "<detached>"
+        return f"<CDFG of {src}: {len(self)} ops, cp={self.critical_path_cost():.1f}>"
+
+
+def _func_op_kind(func: str) -> OpKind:
+    """Classify a function name into operator kinds."""
+    return OpKind.SPECIAL if func.lower() in _SPECIAL_FUNCS else OpKind.ARITH
+
+
+def lower_pattern(pattern: Pattern) -> CDFG:
+    """Lower one parallel pattern to its operator-level CDFG.
+
+    The lowering mirrors Fig. 4(b): a load front-end, the operator body
+    derived from the pattern's function and ops_per_element, and a store
+    back-end, with on-chip buffers between phases.
+    """
+    cdfg = CDFG(pattern)
+    wl = pattern.workload
+
+    load = cdfg.add_operator(
+        Operator("load_inputs", OpKind.LOAD, trip_count=max(wl.bytes_in // 64, 1))
+    )
+    in_buf = cdfg.add_operator(Operator("input_buffer", OpKind.BUFFER))
+    cdfg.add_dependency(load, in_buf)
+
+    # Operator body: represent ops_per_element as a small chain whose
+    # total work matches the workload descriptor.
+    body_kind = _func_op_kind(pattern.func.split("+")[0])
+    chain_len = _body_chain_length(pattern)
+    per_node_trip = max(int(wl.total_ops / max(chain_len, 1)), 1)
+    prev = in_buf
+    for i in range(chain_len):
+        kind = body_kind if i == 0 else OpKind.ARITH
+        op = cdfg.add_operator(
+            Operator(f"{pattern.kind.value}_op{i}", kind, trip_count=per_node_trip)
+        )
+        cdfg.add_dependency(prev, op)
+        prev = op
+
+    out_buf = cdfg.add_operator(Operator("output_buffer", OpKind.BUFFER))
+    cdfg.add_dependency(prev, out_buf)
+    store = cdfg.add_operator(
+        Operator("store_outputs", OpKind.STORE, trip_count=max(wl.bytes_out // 64, 1))
+    )
+    cdfg.add_dependency(out_buf, store)
+
+    # Patterns with control flow (reduce/scan trees, stencil sweeps) get a
+    # control node feeding the body.
+    if pattern.kind in (PatternKind.REDUCE, PatternKind.SCAN, PatternKind.STENCIL):
+        ctrl = cdfg.add_operator(
+            Operator("loop_control", OpKind.CONTROL, trip_count=max(wl.elements, 1))
+        )
+        first_body = next(
+            op for op in cdfg.operators if op.name.endswith("_op0")
+        )
+        cdfg.add_dependency(ctrl, first_body)
+
+    cdfg.validate()
+    return cdfg
+
+
+def _body_chain_length(pattern: Pattern) -> int:
+    """Depth of the operator chain representing the pattern body."""
+    if pattern.kind == PatternKind.PIPELINE:
+        return max(getattr(pattern, "depth", 1), 1)
+    if pattern.kind == PatternKind.STENCIL:
+        return max(min(getattr(pattern, "taps", 1), 8), 1)
+    ops = pattern.ops_per_element
+    # Clamp: a chain between 1 and 6 nodes keeps CDFGs readable while the
+    # trip counts preserve total work.
+    return max(1, min(int(round(ops ** 0.5)), 6))

@@ -1,0 +1,219 @@
+"""Leaf-node architectures and provisioning (Table III, Section II-A).
+
+Three architectures are compared throughout the paper, all provisioned
+under a common node power cap from the accelerators' peak powers:
+
+* **Homo-GPU**   — GPUs only, static hard-mapped scheduling;
+* **Homo-FPGA**  — FPGAs only, static hard-mapped scheduling;
+* **Heter-Poly** — both, driven by Poly's runtime scheduler.
+
+``provision`` implements the power-split rule of Section VI-D: given a
+cap and a GPU/FPGA split ratio, the device counts are the largest that
+fit each side's budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.specs import (
+    AMD_W9100,
+    INTEL_ARRIA10,
+    NVIDIA_K20,
+    XILINX_7V3,
+    XILINX_ZCU102,
+    DeviceType,
+    FPGASpec,
+    GPUSpec,
+)
+
+__all__ = [
+    "SchedulingPolicy",
+    "SystemConfig",
+    "provision",
+    "setting",
+    "SETTINGS",
+    "DEFAULT_POWER_CAP_W",
+]
+
+#: Leaf-node accelerator power cap used in the static evaluation.
+DEFAULT_POWER_CAP_W = 500.0
+
+
+class SchedulingPolicy(enum.Enum):
+    """Runtime policy of a system architecture."""
+
+    POLY = "poly"       # two-step Poly scheduler, dynamic
+    STATIC = "static"   # hard mapping, fixed implementation [4]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One leaf-node architecture: device inventory plus policy."""
+
+    codename: str
+    gpu_spec: Optional[GPUSpec]
+    n_gpus: int
+    fpga_spec: Optional[FPGASpec]
+    n_fpgas: int
+    policy: SchedulingPolicy
+    #: Static GPU systems wait this long to assemble request batches
+    #: (the batching latency the IR discussion in Section VI-B blames);
+    #: Poly relies on natural queue-driven batching instead.
+    batch_window_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 0 or self.n_fpgas < 0:
+            raise ValueError("device counts must be non-negative")
+        if self.n_gpus == 0 and self.n_fpgas == 0:
+            raise ValueError(f"system {self.codename!r} has no devices")
+        if self.n_gpus > 0 and self.gpu_spec is None:
+            raise ValueError("n_gpus > 0 requires a gpu_spec")
+        if self.n_fpgas > 0 and self.fpga_spec is None:
+            raise ValueError("n_fpgas > 0 requires an fpga_spec")
+
+    @property
+    def peak_power_w(self) -> float:
+        """Sum of accelerator peak powers (the provisioning constraint)."""
+        gpu = self.gpu_spec.peak_power_w * self.n_gpus if self.gpu_spec else 0.0
+        fpga = self.fpga_spec.peak_power_w * self.n_fpgas if self.fpga_spec else 0.0
+        return gpu + fpga
+
+    @property
+    def capex_usd(self) -> float:
+        """Accelerator purchase cost (feeds the TCO model)."""
+        gpu = self.gpu_spec.price_usd * self.n_gpus if self.gpu_spec else 0.0
+        fpga = self.fpga_spec.price_usd * self.n_fpgas if self.fpga_spec else 0.0
+        return gpu + fpga
+
+    @property
+    def platforms(self) -> List:
+        """Distinct platform specs present in the node."""
+        out = []
+        if self.n_gpus:
+            out.append(self.gpu_spec)
+        if self.n_fpgas:
+            out.append(self.fpga_spec)
+        return out
+
+    def device_inventory(self) -> List[Tuple[str, object]]:
+        """``(device_id, spec)`` for every accelerator instance."""
+        devices: List[Tuple[str, object]] = []
+        for i in range(self.n_gpus):
+            devices.append((f"gpu{i}", self.gpu_spec))
+        for i in range(self.n_fpgas):
+            devices.append((f"fpga{i}", self.fpga_spec))
+        return devices
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.n_gpus:
+            parts.append(f"{self.gpu_spec.name} x{self.n_gpus}")
+        if self.n_fpgas:
+            parts.append(f"{self.fpga_spec.name} x{self.n_fpgas}")
+        return (
+            f"<SystemConfig {self.codename}: {' + '.join(parts)}, "
+            f"{self.peak_power_w:.0f} W peak, {self.policy.value}>"
+        )
+
+
+def provision(
+    codename: str,
+    gpu_spec: Optional[GPUSpec],
+    fpga_spec: Optional[FPGASpec],
+    power_cap_w: float,
+    gpu_power_split: float,
+    policy: SchedulingPolicy,
+    batch_window_ms: float = 0.0,
+) -> SystemConfig:
+    """Provision a node under ``power_cap_w`` at the given power split.
+
+    ``gpu_power_split`` in [0, 1] is the fraction of the cap granted to
+    GPUs (Fig. 13's x-axis); each side packs as many devices as fit.
+    """
+    if not 0.0 <= gpu_power_split <= 1.0:
+        raise ValueError("gpu_power_split must be in [0, 1]")
+    if power_cap_w <= 0:
+        raise ValueError("power cap must be positive")
+    n_gpus = (
+        int((power_cap_w * gpu_power_split + 1e-6) // gpu_spec.peak_power_w)
+        if gpu_spec and gpu_power_split > 0
+        else 0
+    )
+    n_fpgas = (
+        int((power_cap_w * (1 - gpu_power_split) + 1e-6) // fpga_spec.peak_power_w)
+        if fpga_spec and gpu_power_split < 1
+        else 0
+    )
+    return SystemConfig(
+        codename=codename,
+        gpu_spec=gpu_spec,
+        n_gpus=n_gpus,
+        fpga_spec=fpga_spec,
+        n_fpgas=n_fpgas,
+        policy=policy,
+        batch_window_ms=batch_window_ms,
+    )
+
+
+#: Table III: the three hardware settings.  Device counts are the
+#: paper's (Homo-GPU x2 GPUs; Homo-FPGA x10/x16/x8 FPGAs; Heter-Poly at
+#: the 50%-50% split).
+_SETTING_PARTS = {
+    "I": (AMD_W9100, XILINX_7V3, 10, 5),
+    "II": (NVIDIA_K20, XILINX_ZCU102, 16, 8),
+    "III": (NVIDIA_K20, INTEL_ARRIA10, 8, 4),
+}
+
+
+def setting(number: str, system: str) -> SystemConfig:
+    """Build one Table-III configuration.
+
+    ``number`` is ``"I" | "II" | "III"``; ``system`` is ``"Homo-GPU" |
+    "Homo-FPGA" | "Heter-Poly"``.
+    """
+    try:
+        gpu, fpga, n_fpga_homo, n_fpga_heter = _SETTING_PARTS[number]
+    except KeyError:
+        raise KeyError(f"unknown setting {number!r}; expected I, II or III") from None
+    if system == "Homo-GPU":
+        return SystemConfig(
+            codename=f"Homo-GPU/{number}",
+            gpu_spec=gpu,
+            n_gpus=2,
+            fpga_spec=None,
+            n_fpgas=0,
+            policy=SchedulingPolicy.STATIC,
+            batch_window_ms=10.0,
+        )
+    if system == "Homo-FPGA":
+        return SystemConfig(
+            codename=f"Homo-FPGA/{number}",
+            gpu_spec=None,
+            n_gpus=0,
+            fpga_spec=fpga,
+            n_fpgas=n_fpga_homo,
+            policy=SchedulingPolicy.STATIC,
+        )
+    if system == "Heter-Poly":
+        return SystemConfig(
+            codename=f"Heter-Poly/{number}",
+            gpu_spec=gpu,
+            n_gpus=1,
+            fpga_spec=fpga,
+            n_fpgas=n_fpga_heter,
+            policy=SchedulingPolicy.POLY,
+        )
+    raise KeyError(
+        f"unknown system {system!r}; expected Homo-GPU, Homo-FPGA or Heter-Poly"
+    )
+
+
+def SETTINGS(number: str) -> Dict[str, SystemConfig]:
+    """All three systems of one setting, keyed by codename family."""
+    return {
+        name: setting(number, name)
+        for name in ("Homo-GPU", "Homo-FPGA", "Heter-Poly")
+    }

@@ -1,0 +1,86 @@
+"""Open-loop request generators.
+
+The motivation study feeds requests at a constant interval swept from
+100 ms down to 1 ms (Section II-B); the static evaluation sweeps load
+levels from 10% to 100% of a system's saturation throughput (Section
+VI-B); the trace study replays a 24-hour utilization trace.  All three
+reduce to generating sorted arrival timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "constant_arrivals",
+    "poisson_arrivals",
+    "trace_arrivals",
+]
+
+
+def constant_arrivals(rps: float, duration_ms: float, start_ms: float = 0.0) -> List[float]:
+    """Constant-interval arrivals at ``rps`` requests per second."""
+    if rps <= 0:
+        return []
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    interval = 1000.0 / rps
+    n = int(duration_ms / interval)
+    return [start_ms + i * interval for i in range(n)]
+
+
+def poisson_arrivals(
+    rps: float,
+    duration_ms: float,
+    rng: Optional[np.random.Generator] = None,
+    start_ms: float = 0.0,
+) -> List[float]:
+    """Poisson arrivals at mean rate ``rps`` — the open-loop load the
+    tail-latency experiments use (queueing needs stochastic arrivals to
+    produce realistic p99 behaviour)."""
+    if rps <= 0:
+        return []
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    rng = rng or np.random.default_rng(0)
+    mean_gap = 1000.0 / rps
+    # Draw enough gaps to cover the horizon with margin, then trim.
+    n_est = max(int(duration_ms / mean_gap * 1.3) + 16, 16)
+    times: List[float] = []
+    t = start_ms
+    while True:
+        gaps = rng.exponential(mean_gap, size=n_est)
+        for g in gaps:
+            t += g
+            if t >= start_ms + duration_ms:
+                return times
+            times.append(t)
+
+
+def trace_arrivals(
+    utilization: Sequence[float],
+    interval_ms: float,
+    peak_rps: float,
+    rng: Optional[np.random.Generator] = None,
+) -> List[float]:
+    """Arrivals following a piecewise utilization trace.
+
+    ``utilization[i]`` in [0, 1] scales ``peak_rps`` over the i-th
+    interval of length ``interval_ms`` (the Google-trace replay of
+    Section VI-C).
+    """
+    if interval_ms <= 0 or peak_rps <= 0:
+        raise ValueError("interval and peak rate must be positive")
+    rng = rng or np.random.default_rng(0)
+    times: List[float] = []
+    for i, u in enumerate(utilization):
+        u = min(max(float(u), 0.0), 1.0)
+        rate = u * peak_rps
+        if rate <= 0:
+            continue
+        times.extend(
+            poisson_arrivals(rate, interval_ms, rng, start_ms=i * interval_ms)
+        )
+    return times

@@ -1,0 +1,95 @@
+"""Total cost of ownership and cost efficiency (Section VI-E, Fig. 14).
+
+Cost efficiency is "the value of the maximum throughput divided by
+TCO", computed with the datacenter TCO model of Patterson [57] with the
+same parameter style as Sirius [4]: amortized server+accelerator capex,
+datacenter infrastructure capex per provisioned watt, and energy opex
+scaled by PUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cluster import SystemConfig
+
+__all__ = ["TCOParameters", "TCOModel"]
+
+
+@dataclass(frozen=True)
+class TCOParameters:
+    """Knobs of the Patterson-style TCO model (defaults follow the
+    published parameterization used by Sirius [4])."""
+
+    #: Host server cost (chassis, CPU, DRAM, NIC), USD.
+    server_cost_usd: float = 2500.0
+    #: Server+accelerator amortization period, years.
+    amortization_years: float = 3.0
+    #: Datacenter construction cost per provisioned watt, USD/W,
+    #: amortized over its lifetime below.
+    datacenter_capex_per_w: float = 10.0
+    datacenter_amortization_years: float = 12.0
+    #: Electricity price, USD per kWh, and power usage effectiveness.
+    energy_cost_per_kwh: float = 0.067
+    pue: float = 1.1
+    #: Yearly maintenance as a fraction of capex.
+    maintenance_frac: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.amortization_years <= 0 or self.datacenter_amortization_years <= 0:
+            raise ValueError("amortization periods must be positive")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+
+
+class TCOModel:
+    """Monthly TCO and cost efficiency of one leaf-node architecture."""
+
+    HOURS_PER_MONTH = 730.0
+
+    def __init__(self, params: Optional[TCOParameters] = None) -> None:
+        self.params = params or TCOParameters()
+
+    def monthly_capex_usd(self, system: SystemConfig) -> float:
+        """Amortized server + accelerator purchase cost per month."""
+        p = self.params
+        hw = p.server_cost_usd + system.capex_usd
+        return hw / (p.amortization_years * 12.0)
+
+    def monthly_infrastructure_usd(self, system: SystemConfig) -> float:
+        """Amortized datacenter build-out for the provisioned watts."""
+        p = self.params
+        provisioned_w = system.peak_power_w * p.pue
+        return (
+            provisioned_w
+            * p.datacenter_capex_per_w
+            / (p.datacenter_amortization_years * 12.0)
+        )
+
+    def monthly_energy_usd(self, avg_power_w: float) -> float:
+        """Electricity for the measured average node power."""
+        if avg_power_w < 0:
+            raise ValueError("power must be non-negative")
+        p = self.params
+        kwh = avg_power_w / 1000.0 * self.HOURS_PER_MONTH * p.pue
+        return kwh * p.energy_cost_per_kwh
+
+    def monthly_tco_usd(self, system: SystemConfig, avg_power_w: float) -> float:
+        """Total monthly cost of the node at the given average power."""
+        p = self.params
+        capex = self.monthly_capex_usd(system)
+        infra = self.monthly_infrastructure_usd(system)
+        energy = self.monthly_energy_usd(avg_power_w)
+        maintenance = (
+            (p.server_cost_usd + system.capex_usd) * p.maintenance_frac / 12.0
+        )
+        return capex + infra + energy + maintenance
+
+    def cost_efficiency(
+        self, system: SystemConfig, max_rps: float, avg_power_w: float
+    ) -> float:
+        """Fig. 14's metric: sustainable RPS per monthly TCO dollar."""
+        if max_rps < 0:
+            raise ValueError("throughput must be non-negative")
+        return max_rps / self.monthly_tco_usd(system, avg_power_w)

@@ -1,0 +1,112 @@
+"""Application kernel graph G=(K,E) (Section V).
+
+Before making runtime decisions Poly builds a directed acyclic kernel
+graph from the application's OpenCL code: nodes are kernels, edges are
+inter-kernel data dependencies annotated with the bytes that must cross
+PCIe when producer and consumer land on different accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..patterns.ppg import Kernel
+
+__all__ = ["KernelGraph"]
+
+
+class KernelGraph:
+    """DAG of kernels with data-volume-annotated edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.graph = nx.DiGraph()
+        self._kernels: Dict[str, Kernel] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_kernel(self, kernel: Kernel) -> Kernel:
+        """Add a kernel node; names must be unique within the graph."""
+        if kernel.name in self._kernels:
+            raise ValueError(f"duplicate kernel name {kernel.name!r}")
+        self._kernels[kernel.name] = kernel
+        self.graph.add_node(kernel.name)
+        return kernel
+
+    def connect(self, src: str, dst: str, nbytes: Optional[int] = None) -> None:
+        """Add dependency ``src -> dst`` moving ``nbytes`` of data.
+
+        Defaults to the producer kernel's output size.
+        """
+        if src not in self._kernels or dst not in self._kernels:
+            raise KeyError(f"unknown kernel in edge {src!r} -> {dst!r}")
+        if nbytes is None:
+            producer = self._kernels[src]
+            nbytes = sum(p.output.nbytes for p in producer.ppg.sinks())
+        if nbytes < 0:
+            raise ValueError("edge bytes must be non-negative")
+        self.graph.add_edge(src, dst, nbytes=nbytes)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            self.graph.remove_edge(src, dst)
+            raise ValueError(f"edge {src!r} -> {dst!r} creates a cycle")
+
+    # -- queries -----------------------------------------------------------
+
+    def kernel(self, name: str) -> Kernel:
+        return self._kernels[name]
+
+    @property
+    def kernels(self) -> List[Kernel]:
+        """Kernels in topological order."""
+        return [self._kernels[n] for n in nx.topological_sort(self.graph)]
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return [k.name for k in self.kernels]
+
+    def successors(self, name: str) -> List[str]:
+        return list(self.graph.successors(name))
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self.graph.predecessors(name))
+
+    def edge_bytes(self, src: str, dst: str) -> int:
+        return self.graph.edges[src, dst]["nbytes"]
+
+    def sources(self) -> List[str]:
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+
+    def paths(self) -> List[List[str]]:
+        """All source->sink kernel execution paths (Fig. 6's two ASR paths)."""
+        out: List[List[str]] = []
+        for s in self.sources():
+            for t in self.sinks():
+                out.extend(nx.all_simple_paths(self.graph, s, t))
+        # Single-kernel graphs: path of one.
+        if not out and len(self._kernels) == 1:
+            out = [[next(iter(self._kernels))]]
+        return out
+
+    def validate(self) -> None:
+        if not self._kernels:
+            raise ValueError(f"kernel graph {self.name!r} is empty")
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ValueError(f"kernel graph {self.name!r} has a cycle")
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __repr__(self) -> str:
+        return (
+            f"<KernelGraph {self.name!r}: {len(self)} kernels, "
+            f"{self.graph.number_of_edges()} edges>"
+        )

@@ -1,0 +1,135 @@
+"""Step 1 — latency optimization (Section V).
+
+List scheduling driven by the latency priority list :math:`W_L`: pick
+kernels in descending priority, compute the earliest starting time of
+each (kernel, device) pair
+
+.. math::
+
+    EST(k_i, d_n) = \\max_{k_j \\in Pred(k_i)} T_{end}(k_j)
+                    + T_{queue}(d_n)
+
+(Eq. 4; we additionally charge the PCIe transfer when a predecessor
+ran on a *different* device), then place the kernel where it finishes
+earliest using the fastest implementation available on that device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..hardware.pcie import PCIeLink
+from ..optim.design_point import DesignPoint, KernelDesignSpace
+from .kernel_graph import KernelGraph
+from .priority import priority_order
+from .types import Assignment, DeviceSlot, Schedule
+
+__all__ = ["LatencyOptimizer"]
+
+
+class LatencyOptimizer:
+    """HEFT-style minimum-latency list scheduler (Step 1)."""
+
+    def __init__(
+        self,
+        design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
+        pcie: Optional[PCIeLink] = None,
+    ) -> None:
+        self.design_spaces = design_spaces
+        self.pcie = pcie or PCIeLink()
+
+    # -- public API ----------------------------------------------------------
+
+    def schedule(
+        self, graph: KernelGraph, devices: Sequence[DeviceSlot]
+    ) -> Schedule:
+        """Produce the minimum-latency schedule for one application run."""
+        graph.validate()
+        if not devices:
+            raise ValueError("no devices to schedule on")
+        platforms = sorted({d.platform for d in devices})
+        order = priority_order(graph, self.design_spaces, platforms, self.pcie)
+
+        available = {d.device_id: d.available_at_ms for d in devices}
+        placed: Dict[str, Assignment] = {}
+
+        for name in order:
+            best: Optional[Assignment] = None
+            for dev in devices:
+                space = self.design_spaces.get((name, dev.platform))
+                if space is None:
+                    continue
+                point = space.min_latency()
+                est = self._earliest_start(
+                    name, dev, graph, placed, available[dev.device_id]
+                )
+                finish = est + point.latency_ms
+                if best is None or finish < best.end_ms:
+                    best = Assignment(
+                        kernel_name=name,
+                        point=point,
+                        device_id=dev.device_id,
+                        start_ms=est,
+                        end_ms=finish,
+                    )
+            if best is None:
+                raise RuntimeError(
+                    f"kernel {name!r} has no implementation on any device"
+                )
+            placed[name] = best
+            available[best.device_id] = best.end_ms
+
+        return Schedule(graph.name, list(placed.values()))
+
+    def retime(
+        self,
+        graph: KernelGraph,
+        devices: Sequence[DeviceSlot],
+        choices: Mapping[str, Tuple[DesignPoint, str]],
+    ) -> Schedule:
+        """Recompute the timetable for *fixed* (impl, device) choices.
+
+        Used by the energy-optimization step: after swapping a kernel's
+        implementation, only the timing needs recomputation — placement
+        is given.  Kernels keep the Step-1 priority order on each device.
+        """
+        platforms = sorted({d.platform for d in devices})
+        order = priority_order(graph, self.design_spaces, platforms, self.pcie)
+        available = {d.device_id: d.available_at_ms for d in devices}
+        placed: Dict[str, Assignment] = {}
+
+        for name in order:
+            point, device_id = choices[name]
+            dev = next(d for d in devices if d.device_id == device_id)
+            est = self._earliest_start(name, dev, graph, placed, available[device_id])
+            placed[name] = Assignment(
+                kernel_name=name,
+                point=point,
+                device_id=device_id,
+                start_ms=est,
+                end_ms=est + point.latency_ms,
+            )
+            available[device_id] = placed[name].end_ms
+
+        return Schedule(graph.name, list(placed.values()))
+
+    # -- internals -----------------------------------------------------------
+
+    def _earliest_start(
+        self,
+        kernel_name: str,
+        device: DeviceSlot,
+        graph: KernelGraph,
+        placed: Mapping[str, Assignment],
+        device_free_at: float,
+    ) -> float:
+        """Eq. 4 with cross-device transfer charging."""
+        ready = 0.0
+        for pred in graph.predecessors(kernel_name):
+            pa = placed[pred]
+            arrival = pa.end_ms
+            if pa.device_id != device.device_id:
+                nbytes = graph.edge_bytes(pred, kernel_name)
+                arrival += self.pcie.device_to_device_ms(nbytes)
+            ready = max(ready, arrival)
+        return max(ready, device_free_at)

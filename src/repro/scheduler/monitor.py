@@ -1,0 +1,137 @@
+"""System monitor and model self-correction (Fig. 2's feedback loop).
+
+The monitor tracks the fluctuating load (request throughput), observed
+end-to-end latencies and power draw.  Its two products are:
+
+* a smoothed **load estimate** the optimizer uses to pick operating
+  modes (queue length reacts immediately — Section VI-C);
+* a per-application **correction factor**: the EWMA ratio of observed
+  to predicted latency.  The paper reports <6% model error and states
+  that Poly "tolerates the wrong prediction by making self-correction
+  through the feedback loop"; multiplying predictions by this factor is
+  that correction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+import math
+
+__all__ = ["SystemMonitor"]
+
+
+class SystemMonitor:
+    """Sliding-window monitor of load, latency and prediction error."""
+
+    def __init__(
+        self,
+        window: int = 256,
+        ewma_alpha: float = 0.2,
+        correction_bounds: Tuple[float, float] = (0.5, 2.0),
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.window = window
+        self.ewma_alpha = ewma_alpha
+        self.correction_bounds = correction_bounds
+
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._arrival_times: Deque[float] = deque(maxlen=window)
+        self._queue_depth = 0
+        self._correction = 1.0
+        self._power_samples: Deque[float] = deque(maxlen=window)
+
+    # -- event feed (called by the simulator/runtime) ------------------------
+
+    def record_arrival(self, now_ms: float) -> None:
+        """A request entered the system."""
+        self._arrival_times.append(now_ms)
+        self._queue_depth += 1
+
+    def record_completion(
+        self,
+        latency_ms: float,
+        predicted_ms: Optional[float] = None,
+    ) -> None:
+        """A request finished; optionally feed the prediction it was
+        scheduled with to update the correction factor."""
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self._latencies.append(latency_ms)
+        self._queue_depth = max(self._queue_depth - 1, 0)
+        if predicted_ms is not None and predicted_ms > 0:
+            ratio = latency_ms / predicted_ms
+            lo, hi = self.correction_bounds
+            ratio = min(max(ratio, lo), hi)
+            self._correction += self.ewma_alpha * (ratio - self._correction)
+
+    def record_power(self, watts: float) -> None:
+        self._power_samples.append(watts)
+
+    # -- the optimizer's view -------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently in flight — the immediate load signal."""
+        return self._queue_depth
+
+    @property
+    def correction_factor(self) -> float:
+        """Multiplier applied to model predictions (self-correction)."""
+        return self._correction
+
+    def corrected(self, predicted_ms: float) -> float:
+        """Apply the feedback correction to a model prediction."""
+        return predicted_ms * self._correction
+
+    def arrival_rate_rps(self, now_ms: float, horizon_ms: float = 1000.0) -> float:
+        """Observed arrival rate over the trailing horizon."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        cutoff = now_ms - horizon_ms
+        recent = sum(1 for t in self._arrival_times if t >= cutoff)
+        return recent * 1000.0 / horizon_ms
+
+    def tail_latency_ms(self, percentile: float = 99.0) -> Optional[float]:
+        """Windowed tail latency; ``None`` until data arrives."""
+        if not self._latencies:
+            return None
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        ordered = sorted(self._latencies)
+        rank = max(math.ceil(percentile / 100.0 * len(ordered)) - 1, 0)
+        return ordered[rank]
+
+    def mean_latency_ms(self) -> Optional[float]:
+        if not self._latencies:
+            return None
+        return sum(self._latencies) / len(self._latencies)
+
+    def mean_power_w(self) -> Optional[float]:
+        if not self._power_samples:
+            return None
+        return sum(self._power_samples) / len(self._power_samples)
+
+    def load_estimate(self, capacity_rps: float, now_ms: float) -> float:
+        """Fractional load in [0, ~1.5]: arrival rate over known capacity,
+        nudged up when the queue is building (immediate reaction)."""
+        if capacity_rps <= 0:
+            raise ValueError("capacity must be positive")
+        rate = self.arrival_rate_rps(now_ms)
+        load = rate / capacity_rps
+        if self._queue_depth > 4:
+            load = max(load, min(0.5 + self._queue_depth / 32.0, 1.5))
+        return load
+
+    def reset(self) -> None:
+        """Clear all windows (used between experiment sweeps)."""
+        self._latencies.clear()
+        self._arrival_times.clear()
+        self._power_samples.clear()
+        self._queue_depth = 0
+        self._correction = 1.0

@@ -1,0 +1,79 @@
+"""Latency priority list W_L (Section V, Eqs. 2-3).
+
+The scheduler ranks kernels by the length of the longest (latency +
+transfer) path from each kernel to the sink, computed bottom-up over
+the kernel graph — the HEFT/MKMD-style upward rank:
+
+.. math::
+
+    W_L(k_i) = T_{min}(k_i) +
+        \\max_{k_j \\in Succ(k_i)} \\big( T(e_{ij}) + W_L(k_j) \\big)
+
+where :math:`T_{min}(k_i) = \\min_{r,n} T(k_i^r, d_n)` is the minimum
+latency of any implementation on any device, and :math:`T(e_{ij})` is
+the PCIe transfer time of the edge data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from ..hardware.pcie import PCIeLink
+from ..optim.design_point import KernelDesignSpace
+from .kernel_graph import KernelGraph
+
+__all__ = ["min_latency_ms", "latency_priorities", "priority_order"]
+
+
+def min_latency_ms(
+    kernel_name: str,
+    design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
+    platforms: Sequence[str],
+) -> float:
+    """:math:`T_{min}(k_i)` — best latency across devices and impls (Eq. 3)."""
+    best = float("inf")
+    for platform in platforms:
+        space = design_spaces.get((kernel_name, platform))
+        if space is not None:
+            best = min(best, space.min_latency().latency_ms)
+    if best == float("inf"):
+        raise KeyError(
+            f"kernel {kernel_name!r} has no design space on any of {platforms}"
+        )
+    return best
+
+
+def latency_priorities(
+    graph: KernelGraph,
+    design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
+    platforms: Sequence[str],
+    pcie: PCIeLink,
+) -> Dict[str, float]:
+    """Compute :math:`W_L` for every kernel (Eq. 2), bottom-up."""
+    w_l: Dict[str, float] = {}
+    for name in reversed(list(nx.topological_sort(graph.graph))):
+        t_min = min_latency_ms(name, design_spaces, platforms)
+        succ_term = 0.0
+        for succ in graph.successors(name):
+            transfer = pcie.transfer_ms(graph.edge_bytes(name, succ))
+            succ_term = max(succ_term, transfer + w_l[succ])
+        w_l[name] = t_min + succ_term
+    return w_l
+
+
+def priority_order(
+    graph: KernelGraph,
+    design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
+    platforms: Sequence[str],
+    pcie: PCIeLink,
+) -> List[str]:
+    """Kernels in descending W_L order (the order Step 1 schedules in).
+
+    Because :math:`W_L(pred) > W_L(succ)` by construction, this order is
+    also a valid topological order — every kernel's predecessors appear
+    before it.
+    """
+    w_l = latency_priorities(graph, design_spaces, platforms, pcie)
+    return sorted(w_l, key=lambda n: w_l[n], reverse=True)

@@ -1,0 +1,131 @@
+"""Tests for the OpenCL code generator and the CLI."""
+
+import pytest
+
+from conftest import small_kernel
+from repro.cli import build_parser, main
+from repro.codegen import generate_host_snippet, generate_kernel_source
+from repro.hardware import ImplConfig
+from repro.hardware.specs import DeviceType
+from repro.patterns import Gather, Kernel, Map, PPG, Reduce, Tensor
+
+
+def _gather_kernel():
+    x = Tensor("x", (4096,))
+    ppg = PPG("g")
+    g = ppg.add_pattern(Gather((x,)))
+    m = ppg.add_pattern(Map((x,), func="mul", ops_per_element=2.0))
+    ppg.connect(g, m)
+    return Kernel("g", ppg)
+
+
+class TestCodegen:
+    def test_gpu_source_structure(self):
+        k = small_kernel("K")
+        src = generate_kernel_source(k, ImplConfig(), DeviceType.GPU)
+        assert "__kernel void" in src
+        assert "get_global_id" in src
+        assert "reqd_work_group_size" in src
+
+    def test_coalescing_remap_emitted(self):
+        k = _gather_kernel()
+        plain = generate_kernel_source(k, ImplConfig(), DeviceType.GPU)
+        coal = generate_kernel_source(
+            k, ImplConfig(memory_coalescing=True), DeviceType.GPU
+        )
+        assert "memory coalescing" not in plain
+        assert "memory coalescing" in coal
+
+    def test_scratchpad_uses_local(self):
+        k = small_kernel("K")
+        src = generate_kernel_source(
+            k, ImplConfig(use_scratchpad=True), DeviceType.GPU
+        )
+        assert "__local" in src
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in src
+
+    def test_gpu_unroll_pragma(self):
+        k = small_kernel("K")
+        src = generate_kernel_source(k, ImplConfig(unroll=8), DeviceType.GPU)
+        assert "#pragma unroll 8" in src
+
+    def test_fpga_pipeline_and_units(self):
+        k = small_kernel("K")
+        src = generate_kernel_source(
+            k,
+            ImplConfig(pipelined=True, compute_units=4, bram_ports=8),
+            DeviceType.FPGA,
+        )
+        assert "xcl_pipeline_loop" in src
+        assert "num_compute_units(4)" in src
+        assert "xcl_array_partition(cyclic, 8)" in src
+
+    def test_fused_emits_single_kernel(self):
+        k = _gather_kernel()
+        fused = generate_kernel_source(k, ImplConfig(fused=True), DeviceType.FPGA)
+        split = generate_kernel_source(k, ImplConfig(fused=False), DeviceType.FPGA)
+        assert fused.count("__kernel void") == 1
+        assert split.count("__kernel void") == 2
+        assert "fused pattern" in fused
+
+    def test_reduce_emits_tree_reduction(self):
+        x = Tensor("x", (1024,))
+        ppg = PPG("r")
+        ppg.add_pattern(Reduce((x,), func="add"))
+        src = generate_kernel_source(Kernel("r", ppg), ImplConfig(), DeviceType.GPU)
+        assert "work_group_reduce_add" in src
+
+    def test_dtype_mapping(self):
+        x = Tensor("x", (64,), "fp16")
+        ppg = PPG("h")
+        ppg.add_pattern(Map((x,)))
+        src = generate_kernel_source(Kernel("h", ppg), ImplConfig(), DeviceType.GPU)
+        assert "half" in src
+
+    def test_host_snippet_rounds_global_size(self):
+        k = small_kernel("K", elements=1000)
+        snippet = generate_host_snippet(k, ImplConfig(work_group_size=128), DeviceType.GPU)
+        assert "local_size = 128" in snippet
+        # 1000 rounded up to a multiple of 128 = 1024
+        assert "global_size = 1024" in snippet
+
+    def test_host_snippet_dvfs_hint(self):
+        k = small_kernel("K")
+        snippet = generate_host_snippet(
+            k, ImplConfig(freq_scale=0.62), DeviceType.GPU
+        )
+        assert "62%" in snippet
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["dse", "FQT"],
+            ["schedule", "ASR", "--setting", "II"],
+            ["simulate", "IR", "30"],
+            ["codegen", "ASR", "LSTM_acoustic", "--fpga", "--unroll", "4"],
+            ["figure", "fig11"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_figure_unknown_name(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figure_fig11_runs(self, capsys):
+        assert main(["figure", "fig11"]) == 0
+        assert "utilization trace" in capsys.readouterr().out
+
+    def test_codegen_runs(self, capsys):
+        rc = main(
+            ["codegen", "FQT", "PRNG", "--fpga", "--pipeline", "--unroll", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "__kernel" in out
+        assert "xcl_pipeline_loop" in out
+
+    def test_codegen_unknown_kernel(self, capsys):
+        assert main(["codegen", "FQT", "Ghost"]) == 2

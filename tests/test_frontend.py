@@ -1,0 +1,137 @@
+"""Tests for the annotation-language frontend."""
+
+import pytest
+
+from repro.frontend import ParseError, build_kernel, compile_source, parse
+from repro.patterns import PatternKind
+
+KERNEL_SRC = """
+kernel LSTM {
+    tensor x (160, 1024) fp16
+    tensor w (4, 1536, 2560) int8 resident
+    pattern gates = map(x, w) func=mac ops=30720
+    pattern cell = reduce(gates) func=add ops=2
+    pattern recur = pipeline(cell) stages=sigmoid,tanh ops=3 iterations=160
+}
+"""
+
+APP_SRC = KERNEL_SRC + """
+kernel FC {
+    tensor a (4096) fp16
+    tensor wf (4096, 4096) fp16 streamed
+    pattern mm = map(a, wf) func=mac ops=8192
+}
+app Mini qos=150 {
+    use LSTM
+    use FC
+    edge LSTM -> FC bytes=8192
+}
+"""
+
+
+class TestParser:
+    def test_parse_kernel(self):
+        module = parse(KERNEL_SRC)
+        k = module.kernels["LSTM"]
+        assert len(k.tensors) == 2
+        assert len(k.patterns) == 3
+        assert k.tensors[1].resident and k.tensors[1].stationary
+
+    def test_streamed_flag(self):
+        module = parse(APP_SRC)
+        wf = module.kernels["FC"].tensors[1]
+        assert wf.resident and not wf.stationary
+
+    def test_comments_ignored(self):
+        module = parse("# top\nkernel K {\n  tensor x (4)  # inline\n  pattern m = map(x)\n}\n")
+        assert "K" in module.kernels
+
+    def test_app_block(self):
+        module = parse(APP_SRC)
+        app = module.apps["Mini"]
+        assert app.qos_ms == 150.0
+        assert app.kernels == ["LSTM", "FC"]
+        assert app.edges[0].nbytes == 8192
+
+    def test_unknown_statement_has_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse("kernel K {\n  tensor x (4)\n  banana\n}")
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ParseError, match="unknown input"):
+            parse("kernel K {\n  pattern m = map(nope)\n}")
+
+    def test_duplicate_kernel_rejected(self):
+        src = "kernel K {\n pattern m = map(x)\n tensor x (4)\n}\n" * 2
+        with pytest.raises(ParseError, match="duplicate"):
+            parse(src)
+
+    def test_missing_brace(self):
+        with pytest.raises(ParseError, match="missing"):
+            parse("kernel K {\n  tensor x (4)\n  pattern m = map(x)\n")
+
+    def test_unmatched_close(self):
+        with pytest.raises(ParseError, match="unmatched"):
+            parse("}\n")
+
+    def test_kernel_without_patterns_rejected(self):
+        with pytest.raises(ParseError, match="no patterns"):
+            parse("kernel K {\n  tensor x (4)\n}")
+
+    def test_dep_chain_validated(self):
+        with pytest.raises(ParseError, match="unknown pattern"):
+            parse("kernel K {\n tensor x (4)\n pattern m = map(x)\n dep m -> q\n}")
+
+
+class TestBuilder:
+    def test_kernel_semantics(self):
+        module = parse(KERNEL_SRC)
+        k = build_kernel(module.kernels["LSTM"])
+        assert k.name == "LSTM"
+        assert k.resident_stationary_bytes == 4 * 1536 * 2560
+        assert k.workload_summary().sequential_steps == 160
+        kinds = [p.kind for p in k.patterns]
+        assert kinds == [PatternKind.MAP, PatternKind.REDUCE, PatternKind.PIPELINE]
+
+    def test_implicit_dataflow_edges(self):
+        module = parse(KERNEL_SRC)
+        k = build_kernel(module.kernels["LSTM"])
+        # gates -> cell -> recur through pattern-name inputs
+        assert k.ppg.graph.number_of_edges() == 2
+
+    def test_compile_source_app(self):
+        kernels, graphs = compile_source(APP_SRC)
+        graph, qos = graphs["Mini"]
+        assert qos == 150.0
+        assert graph.kernel_names == ["LSTM", "FC"]
+        assert graph.edge_bytes("LSTM", "FC") == 8192
+
+    def test_built_kernel_flows_through_dse(self):
+        from repro.hardware import XILINX_7V3
+        from repro.optim import explore_kernel
+
+        kernels, _ = compile_source(APP_SRC)
+        space = explore_kernel(kernels["FC"], XILINX_7V3, target_points=8)
+        assert len(space) >= 1
+
+    def test_stencil_neighborhood_attr(self):
+        src = (
+            "kernel K {\n tensor x (64)\n"
+            " pattern s = stencil(x) func=max neighborhood=(-1,0,1)\n}"
+        )
+        kernels, _ = compile_source(src)
+        stencil = kernels["K"].patterns[0]
+        assert stencil.taps == 3
+
+    def test_tiling_attrs(self):
+        src = (
+            "kernel K {\n tensor x (64, 64)\n"
+            " pattern t = tiling(x) tile=(8,8) grid=(8,8)\n}"
+        )
+        kernels, _ = compile_source(src)
+        t = kernels["K"].patterns[0]
+        assert t.tiles == 64
+
+    def test_app_with_unknown_kernel(self):
+        with pytest.raises(ParseError, match="unknown kernel"):
+            compile_source("app A { \n use Ghost\n }")

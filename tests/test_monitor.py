@@ -1,0 +1,112 @@
+"""Unit tests for the system monitor (the Fig. 2 feedback loop)."""
+
+import pytest
+
+from repro.scheduler import SystemMonitor
+
+
+class TestMonitorWindows:
+    def test_tail_latency_none_until_data(self):
+        assert SystemMonitor().tail_latency_ms() is None
+
+    def test_tail_latency_nearest_rank(self):
+        m = SystemMonitor(window=512)
+        for v in range(1, 101):
+            m.record_completion(float(v))
+        assert m.tail_latency_ms(99.0) == 99.0
+        assert m.tail_latency_ms(50.0) == 50.0
+
+    def test_window_evicts_old_samples(self):
+        m = SystemMonitor(window=4)
+        for v in (1000.0, 1000.0, 1.0, 1.0, 1.0, 1.0):
+            m.record_completion(v)
+        assert m.tail_latency_ms() == 1.0
+
+    def test_mean_latency(self):
+        m = SystemMonitor()
+        for v in (10.0, 20.0, 30.0):
+            m.record_completion(v)
+        assert m.mean_latency_ms() == pytest.approx(20.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SystemMonitor().record_completion(-1.0)
+
+    def test_invalid_percentile(self):
+        m = SystemMonitor()
+        m.record_completion(1.0)
+        with pytest.raises(ValueError):
+            m.tail_latency_ms(0.0)
+
+
+class TestQueueSignal:
+    def test_queue_depth_tracks_inflight(self):
+        m = SystemMonitor()
+        m.record_arrival(0.0)
+        m.record_arrival(1.0)
+        assert m.queue_depth == 2
+        m.record_completion(5.0)
+        assert m.queue_depth == 1
+
+    def test_queue_depth_never_negative(self):
+        m = SystemMonitor()
+        m.record_completion(1.0)
+        assert m.queue_depth == 0
+
+    def test_arrival_rate_over_horizon(self):
+        m = SystemMonitor(window=512)
+        for t in range(100):
+            m.record_arrival(float(t * 10))  # 100 arrivals over 1 s
+        assert m.arrival_rate_rps(now_ms=1000.0, horizon_ms=1000.0) == pytest.approx(
+            100.0, rel=0.05
+        )
+
+    def test_load_estimate_reacts_to_queue(self):
+        m = SystemMonitor()
+        base = m.load_estimate(capacity_rps=100.0, now_ms=0.0)
+        for t in range(10):
+            m.record_arrival(float(t))
+        loaded = m.load_estimate(capacity_rps=100.0, now_ms=10.0)
+        assert loaded > base
+
+
+class TestSelfCorrection:
+    def test_correction_starts_at_unity(self):
+        assert SystemMonitor().correction_factor == 1.0
+
+    def test_correction_tracks_overruns(self):
+        m = SystemMonitor(ewma_alpha=0.5)
+        for _ in range(20):
+            m.record_completion(120.0, predicted_ms=100.0)
+        assert m.correction_factor == pytest.approx(1.2, rel=0.05)
+        assert m.corrected(100.0) == pytest.approx(120.0, rel=0.05)
+
+    def test_correction_bounded(self):
+        m = SystemMonitor(ewma_alpha=1.0, correction_bounds=(0.5, 2.0))
+        m.record_completion(1000.0, predicted_ms=1.0)
+        assert m.correction_factor <= 2.0
+        m.record_completion(0.001, predicted_ms=1000.0)
+        assert m.correction_factor >= 0.5 * 0.5  # EWMA of clamped ratios
+
+    def test_reset_clears_everything(self):
+        m = SystemMonitor()
+        m.record_arrival(0.0)
+        m.record_completion(50.0, predicted_ms=10.0)
+        m.record_power(100.0)
+        m.reset()
+        assert m.queue_depth == 0
+        assert m.correction_factor == 1.0
+        assert m.tail_latency_ms() is None
+        assert m.mean_power_w() is None
+
+    def test_power_window(self):
+        m = SystemMonitor()
+        m.record_power(100.0)
+        m.record_power(200.0)
+        assert m.mean_power_w() == pytest.approx(150.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SystemMonitor(window=0)
+        with pytest.raises(ValueError):
+            SystemMonitor(ewma_alpha=0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the automatic pattern analysis (Section IV-A)."""
+
+import pytest
+
+from repro.patterns import (
+    Gather,
+    Kernel,
+    Map,
+    PPG,
+    Reduce,
+    Scatter,
+    Tensor,
+    analyze_kernel,
+)
+
+
+def _gather_kernel():
+    x = Tensor("x", (1 << 16,))
+    ppg = PPG("g")
+    g = ppg.add_pattern(Gather((x,), index_space=4096))
+    m = ppg.add_pattern(Map((x,), func="mul", ops_per_element=4.0))
+    ppg.connect(g, m)
+    return Kernel("g", ppg), g, m
+
+
+class TestProfiles:
+    def test_every_pattern_profiled(self):
+        k, g, m = _gather_kernel()
+        analysis = analyze_kernel(k)
+        assert set(analysis.profiles) == {g, m}
+
+    def test_gather_deferred(self):
+        k, g, m = _gather_kernel()
+        analysis = analyze_kernel(k)
+        assert analysis.profiles[g].deferred
+        assert not analysis.profiles[m].deferred
+        assert analysis.deferred_patterns == [g]
+
+    def test_roofline_classification(self):
+        x = Tensor("x", (1024,))
+        ppg = PPG("k")
+        hot = ppg.add_pattern(Map((x,), ops_per_element=100.0))
+        cold = ppg.add_pattern(Map((x,), ops_per_element=0.5))
+        ppg.connect(hot, cold)
+        analysis = analyze_kernel(Kernel("k", ppg))
+        assert analysis.profiles[hot].bound == "compute"
+        assert analysis.profiles[cold].bound == "memory"
+
+    def test_total_parallelism_positive(self):
+        k, _, _ = _gather_kernel()
+        assert analyze_kernel(k).total_parallelism >= 1
+
+
+class TestCommunication:
+    def test_onchip_cheaper_than_offchip(self):
+        k, _, _ = _gather_kernel()
+        analysis = analyze_kernel(k)
+        assert analysis.communications
+        for c in analysis.communications:
+            assert c.onchip_cost < c.offchip_cost
+            assert c.fusion_benefit > 0
+
+    def test_fusion_candidates_respect_capacity(self):
+        k, g, m = _gather_kernel()
+        analysis = analyze_kernel(k)
+        bytes_moved = analysis.communications[0].bytes_moved
+        assert analysis.fusion_candidates(bytes_moved) != []
+        assert analysis.fusion_candidates(bytes_moved - 1) == []
+
+    def test_fusion_candidates_sorted_by_benefit(self):
+        x = Tensor("x", (1 << 14,))
+        small = Tensor("s", (64,))
+        ppg = PPG("k")
+        a = ppg.add_pattern(Map((x,)))
+        b = ppg.add_pattern(Map((x,)))
+        c = ppg.add_pattern(Map((small,)))
+        d = ppg.add_pattern(Reduce((small,)))
+        ppg.connect(a, b)
+        ppg.connect(c, d)
+        analysis = analyze_kernel(Kernel("k", ppg))
+        cands = analysis.fusion_candidates(1 << 30)
+        benefits = [c.fusion_benefit for c in cands]
+        assert benefits == sorted(benefits, reverse=True)
+
+
+class TestDeferredResolution:
+    def test_gather_adopts_consumer_parallelism(self):
+        k, g, m = _gather_kernel()
+        analysis = analyze_kernel(k)
+        resolved = analysis.resolve_deferred()
+        assert resolved[g] == analysis.profiles[m].compute_parallelism
+
+    def test_scatter_adopts_producer_parallelism(self):
+        x = Tensor("x", (4096,))
+        ppg = PPG("s")
+        m = ppg.add_pattern(Map((x,), ops_per_element=2.0))
+        s = ppg.add_pattern(Scatter((x,)))
+        ppg.connect(m, s)
+        analysis = analyze_kernel(Kernel("s", ppg))
+        resolved = analysis.resolve_deferred()
+        assert resolved[s] == analysis.profiles[m].compute_parallelism
+
+    def test_isolated_deferred_uses_own_parallelism(self):
+        x = Tensor("x", (4096,))
+        ppg = PPG("g")
+        g = ppg.add_pattern(Gather((x,), index_space=128))
+        analysis = analyze_kernel(Kernel("g", ppg))
+        assert analysis.resolve_deferred()[g] == g.data_parallelism

@@ -1,0 +1,240 @@
+"""Unit tests for the parallel-pattern annotation layer."""
+
+import math
+
+import pytest
+
+from repro.patterns import (
+    Gather,
+    Map,
+    Pack,
+    PatternKind,
+    Pipeline,
+    Reduce,
+    Scan,
+    Scatter,
+    Stencil,
+    Tensor,
+    Tiling,
+    Workload,
+    make_pattern,
+)
+
+
+class TestTensor:
+    def test_elements_and_bytes(self):
+        t = Tensor("x", (4, 8, 16), "fp32")
+        assert t.elements == 512
+        assert t.dtype_bytes == 4
+        assert t.nbytes == 2048
+
+    def test_fp16_halves_bytes(self):
+        t = Tensor("x", (128,), "fp16")
+        assert t.nbytes == 256
+
+    def test_int8(self):
+        t = Tensor("x", (128,), "int8")
+        assert t.nbytes == 128
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError, match="non-empty shape"):
+            Tensor("x", ())
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            Tensor("x", (4, 0))
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            Tensor("x", (4,), "complex128")
+
+    def test_with_shape_derives_new_tensor(self):
+        t = Tensor("x", (4, 4), "fp16", resident=True)
+        out = t.with_shape((16,))
+        assert out.shape == (16,)
+        assert out.dtype == "fp16"
+        assert not out.resident  # outputs are never parameters
+
+    def test_resident_stationary_default(self):
+        t = Tensor("w", (4,), resident=True)
+        assert t.stationary
+
+
+class TestPatternKind:
+    def test_from_name_case_insensitive(self):
+        assert PatternKind.from_name("Map") == PatternKind.MAP
+        assert PatternKind.from_name(" REDUCE ") == PatternKind.REDUCE
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown parallel pattern"):
+            PatternKind.from_name("fft")
+
+    def test_nine_patterns_defined(self):
+        assert len(PatternKind) == 9
+
+
+class TestWorkload:
+    def test_totals(self):
+        wl = Workload(elements=100, ops_per_element=3.0, bytes_in=400, bytes_out=100)
+        assert wl.total_ops == 300.0
+        assert wl.total_bytes == 500
+        assert wl.arithmetic_intensity == pytest.approx(0.6)
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            Workload(elements=0, ops_per_element=1.0, bytes_in=0, bytes_out=0)
+
+    def test_rejects_bad_regularity(self):
+        with pytest.raises(ValueError):
+            Workload(
+                elements=1, ops_per_element=1.0, bytes_in=0, bytes_out=0,
+                access_regularity=1.5,
+            )
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            Workload(
+                elements=1, ops_per_element=1.0, bytes_in=0, bytes_out=0,
+                sequential_steps=0,
+            )
+
+
+class TestMap:
+    def test_workload_matches_tensor(self):
+        x = Tensor("x", (1024,))
+        m = Map((x,), func="mul", ops_per_element=2.0)
+        wl = m.workload
+        assert wl.elements == 1024
+        assert wl.total_ops == 2048
+        assert wl.bytes_in == 4096
+
+    def test_parallelism_is_elementwise(self):
+        x = Tensor("x", (256,))
+        m = Map((x,), ops_per_element=1.0)
+        assert m.data_parallelism == 256
+        assert m.compute_parallelism == 256
+
+    def test_unique_uids(self):
+        x = Tensor("x", (4,))
+        a, b = Map((x,)), Map((x,))
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            Map(())
+
+
+class TestReduce:
+    def test_output_is_scalar(self):
+        x = Tensor("x", (1024,))
+        r = Reduce((x,), func="add")
+        assert r.output.elements == 1
+
+    def test_tree_parallelism(self):
+        x = Tensor("x", (1024,))
+        r = Reduce((x,))
+        assert r.compute_parallelism == 512
+
+
+class TestScan:
+    def test_output_shape_preserved(self):
+        x = Tensor("x", (128,))
+        s = Scan((x,), func="add")
+        assert s.output.elements == 128
+
+    def test_per_sweep_parallelism(self):
+        x = Tensor("x", (128,))
+        assert Scan((x,)).compute_parallelism == 64
+
+
+class TestStencil:
+    def test_taps_scale_work_and_traffic(self):
+        x = Tensor("x", (64, 64))
+        s1 = Stencil((x,), ops_per_element=1.0, neighborhood=((0, 0),))
+        s9 = Stencil(
+            (x,),
+            ops_per_element=1.0,
+            neighborhood=tuple((i, j) for i in (-1, 0, 1) for j in (-1, 0, 1)),
+        )
+        assert s9.workload.total_ops == 9 * s1.workload.total_ops
+        assert s9.workload.bytes_in == 9 * s1.workload.bytes_in
+
+    def test_requires_neighborhood(self):
+        with pytest.raises(ValueError):
+            Stencil((Tensor("x", (4,)),), neighborhood=())
+
+    def test_reduced_regularity(self):
+        s = Stencil((Tensor("x", (4,)),))
+        assert s.workload.access_regularity < 1.0
+
+
+class TestPipeline:
+    def test_depth_and_ops(self):
+        x = Tensor("x", (100,))
+        p = Pipeline((x,), stages=("a", "b", "c"), ops_per_stage=2.0)
+        assert p.depth == 3
+        assert p.workload.total_ops == 600
+
+    def test_iterations_become_sequential_steps(self):
+        x = Tensor("x", (100,))
+        p = Pipeline((x,), stages=("a",), iterations=50)
+        assert p.workload.sequential_steps == 50
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ValueError):
+            Pipeline((Tensor("x", (4,)),), stages=())
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            Pipeline((Tensor("x", (4,)),), iterations=0)
+
+    def test_func_concatenates_stages(self):
+        p = Pipeline((Tensor("x", (4,)),), stages=("exp", "log"))
+        assert p.func == "exp+log"
+
+
+class TestGatherScatter:
+    def test_gather_output_size_from_index_space(self):
+        x = Tensor("x", (1 << 16,))
+        g = Gather((x,), index_space=1000)
+        assert g.output.elements == 1000
+
+    def test_gather_defaults_to_input_size(self):
+        x = Tensor("x", (64,))
+        assert Gather((x,)).output.elements == 64
+
+    def test_irregular_access(self):
+        x = Tensor("x", (64,))
+        assert Gather((x,)).workload.access_regularity < 0.5
+        assert Scatter((x,)).workload.access_regularity < 0.5
+
+
+class TestTiling:
+    def test_tiles_and_elements(self):
+        x = Tensor("x", (64, 64))
+        t = Tiling((x,), tile=(16, 16), grid=(4, 4))
+        assert t.tiles == 16
+        assert t.tile_elements == 256
+        assert t.compute_parallelism == 16
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same rank"):
+            Tiling((Tensor("x", (4,)),), tile=(2,), grid=(2, 2))
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Tiling((Tensor("x", (4,)),), tile=(0,), grid=(1,))
+
+
+class TestPack:
+    def test_minimum_op_cost(self):
+        p = Pack((Tensor("x", (128,)),), ops_per_element=0.0)
+        assert p.workload.ops_per_element >= 0.25
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_make_pattern_covers_all_kinds(self, kind):
+        p = make_pattern(kind, [Tensor("x", (16,))])
+        assert p.kind == kind

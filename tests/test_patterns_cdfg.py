@@ -1,0 +1,125 @@
+"""Unit tests for CDFG lowering and queries."""
+
+import pytest
+
+from repro.patterns import (
+    CDFG,
+    Map,
+    Operator,
+    OpKind,
+    Pipeline,
+    Reduce,
+    Stencil,
+    Tensor,
+    lower_pattern,
+)
+
+
+def _simple_cdfg():
+    c = CDFG()
+    a = c.add_operator(Operator("a", OpKind.LOAD, trip_count=4))
+    b = c.add_operator(Operator("b", OpKind.ARITH, trip_count=10))
+    d = c.add_operator(Operator("d", OpKind.STORE, trip_count=4))
+    c.add_dependency(a, b)
+    c.add_dependency(b, d)
+    return c, (a, b, d)
+
+
+class TestCDFGConstruction:
+    def test_add_and_link(self):
+        c, (a, b, d) = _simple_cdfg()
+        assert len(c) == 3
+        assert set(c.operators) == {a, b, d}
+
+    def test_cycle_rejected(self):
+        c, (a, b, d) = _simple_cdfg()
+        with pytest.raises(ValueError, match="cycle"):
+            c.add_dependency(d, a)
+
+    def test_link_requires_registered_nodes(self):
+        c, (a, _, _) = _simple_cdfg()
+        foreign = Operator("z", OpKind.ARITH)
+        with pytest.raises(KeyError):
+            c.add_dependency(a, foreign)
+
+    def test_validate_rejects_bad_trip_count(self):
+        c = CDFG()
+        c.add_operator(Operator("bad", OpKind.ARITH, trip_count=0))
+        with pytest.raises(ValueError, match="trip count"):
+            c.validate()
+
+
+class TestCDFGQueries:
+    def test_critical_path_is_weighted_longest_path(self):
+        c, (a, b, d) = _simple_cdfg()
+        # load(4) + arith(1) + store(4) single-instance costs
+        assert c.critical_path_cost() == pytest.approx(
+            a.cost + b.cost + d.cost
+        )
+
+    def test_total_work_counts_trips(self):
+        c, (a, b, d) = _simple_cdfg()
+        assert c.total_work() == pytest.approx(
+            a.total_cost + b.total_cost + d.total_cost
+        )
+
+    def test_ilp_at_least_one_for_chain(self):
+        c, _ = _simple_cdfg()
+        assert c.ilp >= 1.0
+
+    def test_operators_of_kind(self):
+        c, (a, b, d) = _simple_cdfg()
+        assert c.operators_of(OpKind.LOAD) == [a]
+        assert c.operators_of(OpKind.BUFFER) == []
+
+
+class TestLowering:
+    def test_map_lowering_structure(self):
+        x = Tensor("x", (1024,))
+        cdfg = lower_pattern(Map((x,), func="mul", ops_per_element=4.0))
+        assert cdfg.operators_of(OpKind.LOAD)
+        assert cdfg.operators_of(OpKind.STORE)
+        assert cdfg.buffer_count == 2
+
+    def test_work_preserved_by_lowering(self):
+        x = Tensor("x", (1 << 14,))
+        p = Map((x,), func="mul", ops_per_element=9.0)
+        cdfg = lower_pattern(p)
+        # Total arithmetic work matches the workload within chain rounding.
+        assert cdfg.arithmetic_ops == pytest.approx(
+            p.workload.total_ops, rel=0.2
+        )
+
+    def test_special_function_classified(self):
+        x = Tensor("x", (64,))
+        cdfg = lower_pattern(Map((x,), func="sigmoid", ops_per_element=2.0))
+        assert cdfg.operators_of(OpKind.SPECIAL)
+
+    def test_plain_function_is_arith(self):
+        x = Tensor("x", (64,))
+        cdfg = lower_pattern(Map((x,), func="mul", ops_per_element=2.0))
+        assert not cdfg.operators_of(OpKind.SPECIAL)
+
+    def test_reduce_gets_control_node(self):
+        x = Tensor("x", (64,))
+        cdfg = lower_pattern(Reduce((x,), func="add"))
+        assert cdfg.operators_of(OpKind.CONTROL)
+
+    def test_pipeline_chain_matches_depth(self):
+        x = Tensor("x", (64,))
+        p = Pipeline((x,), stages=("a", "b", "c", "d"), ops_per_stage=1.0)
+        cdfg = lower_pattern(p)
+        body = [op for op in cdfg.operators if op.name.startswith("pipeline_op")]
+        assert len(body) == 4
+
+    def test_stencil_chain_capped(self):
+        x = Tensor("x", (64, 64))
+        neigh = tuple((i, j) for i in range(-2, 3) for j in range(-2, 3))
+        cdfg = lower_pattern(Stencil((x,), neighborhood=neigh))
+        body = [op for op in cdfg.operators if op.name.startswith("stencil_op")]
+        assert 1 <= len(body) <= 8
+
+    def test_lowered_graph_is_acyclic(self):
+        x = Tensor("x", (256,))
+        cdfg = lower_pattern(Reduce((x,)))
+        cdfg.validate()  # raises on violation

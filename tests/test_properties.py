@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from conftest import synthetic_space
+from repro.hardware import AMD_W9100, GPUModel, ImplConfig, PCIeLink, XILINX_7V3, FPGAModel
+from repro.hardware.specs import DeviceType
+from repro.optim import pareto_front
+from repro.patterns import Kernel, Map, PPG, Pipeline, Tensor
+from repro.runtime import (
+    energy_proportionality,
+    max_throughput_under_qos,
+    percentile_latency,
+)
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=1e4),
+        st.floats(min_value=0.1, max_value=1e3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestParetoProperties:
+    @given(point_lists)
+    def test_frontier_is_subset_and_nondominated(self, points):
+        space = synthetic_space("k", "p", DeviceType.GPU, points)
+        frontier = space.pareto()
+        all_points = list(space)
+        assert set(id(p) for p in frontier) <= set(id(p) for p in all_points)
+        for a in frontier:
+            assert not any(b.dominates(a) for b in all_points)
+
+    @given(point_lists)
+    def test_frontier_monotone_tradeoff(self, points):
+        space = synthetic_space("k", "p", DeviceType.GPU, points)
+        frontier = space.pareto()
+        lats = [p.latency_ms for p in frontier]
+        pows = [p.power_w for p in frontier]
+        assert lats == sorted(lats)
+        assert pows == sorted(pows, reverse=True)
+
+    @given(point_lists)
+    def test_extreme_points_on_frontier_generic(self, points):
+        front = pareto_front(points, lambda t: t)
+        min_lat = min(p[0] for p in points)
+        assert any(math.isclose(p[0], min_lat) for p in front)
+
+
+class TestModelProperties:
+    @given(
+        elements=st.integers(min_value=64, max_value=1 << 20),
+        ops=st.floats(min_value=0.5, max_value=512.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gpu_latency_monotone_in_work(self, elements, ops):
+        x1 = Tensor("x", (elements,))
+        x2 = Tensor("x", (elements,))
+        ppg1, ppg2 = PPG("a"), PPG("b")
+        ppg1.add_pattern(Map((x1,), ops_per_element=ops))
+        ppg2.add_pattern(Map((x2,), ops_per_element=ops * 2))
+        model = GPUModel(AMD_W9100)
+        l1 = model.estimate(Kernel("a", ppg1), ImplConfig()).latency_ms
+        l2 = model.estimate(Kernel("b", ppg2), ImplConfig()).latency_ms
+        assert l2 >= l1 * 0.999
+
+    @given(batch=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_gpu_batch_latency_monotone(self, batch):
+        x = Tensor("x", (1 << 16,))
+        ppg = PPG("k")
+        ppg.add_pattern(Map((x,), ops_per_element=16.0))
+        k = Kernel("k", ppg)
+        model = GPUModel(AMD_W9100)
+        lat_b = model.estimate(k, ImplConfig(), batch).latency_ms
+        lat_b1 = model.estimate(k, ImplConfig(), batch + 1).latency_ms
+        assert lat_b1 >= lat_b * 0.999
+        # ...but per-request cost never grows with batching.
+        assert lat_b1 / (batch + 1) <= lat_b / batch * 1.01
+
+    @given(
+        unroll=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        cu=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fpga_resources_monotone_in_lanes(self, unroll, cu):
+        x = Tensor("x", (1 << 16,))
+        ppg = PPG("k")
+        ppg.add_pattern(Map((x,), ops_per_element=8.0))
+        k = Kernel("k", ppg)
+        model = FPGAModel(XILINX_7V3)
+        base = model.resources(k, ImplConfig())
+        grown = model.resources(k, ImplConfig(unroll=unroll, compute_units=cu))
+        assert grown.dsp >= base.dsp
+        assert grown.logic_cells_k >= base.logic_cells_k
+
+    @given(nbytes=st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=30)
+    def test_pcie_superadditive_split(self, nbytes):
+        link = PCIeLink()
+        whole = link.transfer_ms(nbytes)
+        halves = link.transfer_ms(nbytes // 2) + link.transfer_ms(
+            nbytes - nbytes // 2
+        )
+        assert halves >= whole * 0.999  # latency term makes splitting worse
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=200),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_percentile_bounds(self, lats, pct):
+        p = percentile_latency(lats, pct)
+        assert min(lats) <= p <= max(lats)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=200)
+    )
+    def test_percentile_monotone(self, lats):
+        assert percentile_latency(lats, 50.0) <= percentile_latency(lats, 99.0)
+
+    @given(
+        idle=st.floats(min_value=0.0, max_value=300.0),
+        peak_delta=st.floats(min_value=1.0, max_value=300.0),
+        n=st.integers(min_value=3, max_value=11),
+    )
+    def test_ep_at_most_one_for_affine_curves(self, idle, peak_delta, n):
+        # Any affine power curve with non-negative idle power sits on or
+        # above its own proportional line => EP <= 1, and EP == 1 only
+        # for zero idle power.
+        loads = [i / (n - 1) for i in range(n)]
+        curve = [idle + l * peak_delta for l in loads]
+        ep = energy_proportionality(loads, curve)
+        assert ep <= 1.0 + 1e-9
+        if idle == 0.0:
+            assert ep == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=1000),
+                st.floats(min_value=1, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=1, max_value=10_000),
+    )
+    def test_max_throughput_only_counts_passing_levels(self, sweep, bound):
+        rps = [r for r, _ in sweep]
+        p99 = [p for _, p in sweep]
+        knee = max_throughput_under_qos(rps, p99, bound)
+        if knee > 0:
+            assert any(
+                math.isclose(r, knee) and p <= bound for r, p in zip(rps, p99)
+            )
+        else:
+            assert min(p for r, p in sorted(zip(rps, p99))[:1]) > bound or knee == 0
+
+
+class TestSchedulerProperties:
+    @given(
+        lat_gpu=st.floats(min_value=1.0, max_value=100.0),
+        lat_fpga=st.floats(min_value=1.0, max_value=100.0),
+        n=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_chain_schedule_invariants(self, lat_gpu, lat_fpga, n):
+        from conftest import chain_graph, synthetic_space
+        from repro.scheduler import DeviceSlot, LatencyOptimizer
+
+        graph = chain_graph(n)
+        spaces = {}
+        for name in graph.kernel_names:
+            spaces[(name, AMD_W9100.name)] = synthetic_space(
+                name, AMD_W9100.name, DeviceType.GPU, [(lat_gpu, 100.0)]
+            )
+            spaces[(name, XILINX_7V3.name)] = synthetic_space(
+                name, XILINX_7V3.name, DeviceType.FPGA, [(lat_fpga, 20.0)]
+            )
+        devices = [
+            DeviceSlot("gpu0", AMD_W9100.name, DeviceType.GPU),
+            DeviceSlot("fpga0", XILINX_7V3.name, DeviceType.FPGA),
+        ]
+        sched = LatencyOptimizer(spaces).schedule(graph, devices)
+        # Precedence holds and makespan is at least the serial minimum.
+        names = graph.kernel_names
+        for a, b in zip(names, names[1:]):
+            assert sched[b].start_ms >= sched[a].end_ms - 1e-9
+        assert sched.makespan_ms >= n * min(lat_gpu, lat_fpga) * 0.999
