@@ -4,7 +4,7 @@ Each module builds one :class:`~repro.apps.base.Application`: a kernel
 DAG of parallel-pattern compositions matching Table II's inventory.
 """
 
-from typing import Dict, List
+from typing import List
 
 from . import asr, cs, fqt, ir, mf, wt
 from .base import DEFAULT_QOS_MS, Application

@@ -8,8 +8,8 @@ and the 200 ms tail-latency bound used throughout the evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..hardware.specs import DeviceType
 from ..optim.design_point import KernelDesignSpace
@@ -64,10 +64,17 @@ class Application:
         return out
 
     def explore(
-        self, specs: Sequence
+        self, specs: Sequence, validate: bool = False
     ) -> Dict[Tuple[str, str], KernelDesignSpace]:
-        """Run the offline DSE for this application on the given platforms."""
-        return explore_application(self.kernels, specs, self.dse_targets())
+        """Run the offline DSE for this application on the given platforms.
+
+        ``validate=True`` lints every kernel and prunes lint-rejected
+        design points before model evaluation (see
+        :func:`repro.optim.dse.explore_kernel`).
+        """
+        return explore_application(
+            self.kernels, specs, self.dse_targets(), validate=validate
+        )
 
     def table2_row(self) -> List[Tuple[str, str, int, int]]:
         """(kernel, patterns, #GPU designs, #FPGA designs) per kernel —

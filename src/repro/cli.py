@@ -20,11 +20,18 @@ Commands
 
 ``codegen APP KERNEL [--fpga] [--unroll N] ...``
     Emit the optimized OpenCL source of one kernel implementation.
+
+``lint [--app NAME] [--json] [--dse] [--setting I]``
+    Run the static diagnostics engine over the bundled benchmarks
+    (all six by default).  ``--dse`` additionally validates the DSE
+    product and the scheduler admission of each app.  Exits nonzero
+    when any ERROR diagnostic fires.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import apps as apps_mod
@@ -32,6 +39,7 @@ from . import experiments, runtime
 from .codegen import generate_host_snippet, generate_kernel_source
 from .hardware import ImplConfig
 from .hardware.specs import DeviceType
+from .lint import LintContext, LintReport, run_lint
 from .scheduler import DeviceSlot, PolyScheduler
 
 _FIGURES = {
@@ -125,6 +133,58 @@ def _cmd_codegen(args) -> int:
     return 0
 
 
+def _lint_one_app(name: str, setting: str, dse: bool) -> LintReport:
+    """Lint one bundled app; with ``dse`` also validate its design
+    spaces and the scheduler admission on an idle node."""
+    app = apps_mod.build(name)
+    system = runtime.setting(setting, "Heter-Poly")
+    report = run_lint(app, LintContext(specs=tuple(system.platforms)))
+    if dse:
+        spaces = app.explore(system.platforms, validate=True)
+        devices = [
+            DeviceSlot(device_id, spec.name, spec.device_type)
+            for device_id, spec in system.device_inventory()
+        ]
+        scheduler = PolyScheduler(spaces, app.qos_ms)
+        report.extend(scheduler.admission_check(app.graph, devices))
+    return report
+
+
+def _cmd_lint(args) -> int:
+    names = [n.upper() for n in (args.app or sorted(apps_mod.APP_BUILDERS))]
+    reports = {}
+    for name in names:
+        if name not in apps_mod.APP_BUILDERS:
+            print(
+                f"unknown app {name!r}; choose from {sorted(apps_mod.APP_BUILDERS)}",
+                file=sys.stderr,
+            )
+            return 2
+        reports[name] = _lint_one_app(name, args.setting, args.dse)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": all(r.ok for r in reports.values()),
+                    "apps": {
+                        name: json.loads(r.to_json()) for name, r in reports.items()
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name, report in reports.items():
+            status = "OK" if report.ok else "FAIL"
+            print(
+                f"{name:4s} [{status}] {len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s), {len(report)} diagnostic(s)"
+            )
+            for diag in report:
+                print(f"  {diag.render()}")
+    return 0 if all(r.ok for r in reports.values()) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Poly (HPCA 2019) reproduction toolkit"
@@ -171,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--double-buffer", action="store_true")
     p.add_argument("--fused", action="store_true")
     p.set_defaults(fn=_cmd_codegen)
+
+    p = sub.add_parser("lint", help="static diagnostics over the bundled apps")
+    p.add_argument(
+        "--app",
+        action="append",
+        help="benchmark short name (repeatable); all six when omitted",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--dse",
+        action="store_true",
+        help="also validate the DSE product and scheduler admission",
+    )
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -14,7 +14,7 @@ and restructurings decorate it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from ..hardware.config import ImplConfig
 from ..hardware.specs import DeviceType

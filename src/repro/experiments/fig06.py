@@ -9,7 +9,7 @@ implementation for a further 6% efficiency gain).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..scheduler import DeviceSlot, PolyScheduler
 from .harness import get_app, spaces_for, systems

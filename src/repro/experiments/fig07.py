@@ -14,7 +14,6 @@ from typing import Dict, List, Sequence, Tuple
 from ..apps import APP_BUILDERS
 from .harness import (
     DEFAULT_LOADS,
-    PEAK_RPS,
     SYSTEM_NAMES,
     get_app,
     load_sweep,

@@ -10,7 +10,7 @@ vs 64%) and behind on compute-dense batched workloads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..apps import APP_BUILDERS
 from .harness import (

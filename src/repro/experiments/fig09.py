@@ -47,7 +47,7 @@ def run(
         # Eq. 1 uses; the rendered "ideal" column shows the Heter-Poly
         # one as the figure's dotted reference.
         ideal = ideal_power_curve(
-            [l for l in loads], curves["Heter-Poly"][-1][1]
+            list(loads), curves["Heter-Poly"][-1][1]
         )
         curves["ideal"] = list(zip(loads, ideal.tolist()))
         out[app_name] = curves

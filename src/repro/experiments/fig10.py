@@ -7,7 +7,7 @@ over Homo-GPU and 17% over Homo-FPGA on average.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..apps import APP_BUILDERS
 from ..runtime import energy_proportionality

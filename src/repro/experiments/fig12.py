@@ -10,11 +10,10 @@ under 200 ms; model error stays within a few percent (paper: <6%).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
-import numpy as np
 
-from ..runtime import SystemConfig, run_simulation, trace_arrivals
+from ..runtime import run_simulation, trace_arrivals
 from ..runtime.trace import UtilizationTrace, synthesize_google_trace
 from .harness import SYSTEM_NAMES, get_app, render_table, spaces_for, systems
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..runtime import SchedulingPolicy, provision
-from .harness import DEFAULT_LOADS, get_app, max_rps, render_table, systems
+from .harness import DEFAULT_LOADS, get_app, max_rps, render_table
 
 __all__ = ["run", "render", "SPLITS"]
 

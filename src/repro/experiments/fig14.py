@@ -11,7 +11,7 @@ the higher infrastructure cost amortizes away.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from ..runtime import TCOModel
 from .harness import (

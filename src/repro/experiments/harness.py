@@ -15,11 +15,10 @@ three systems of a setting share an x-axis.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from .. import apps as apps_mod
 from ..apps.base import Application
-from ..optim.design_point import KernelDesignSpace
 from ..runtime import (
     SimulationResult,
     SystemConfig,

@@ -8,7 +8,7 @@ offline DSE and comparing the realized space sizes with the paper's
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..apps import APP_BUILDERS
 from ..hardware.specs import DeviceType

@@ -9,7 +9,7 @@ Clang-based annotation checker (Section IV-A).
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from .ast_nodes import (
     AppDecl,

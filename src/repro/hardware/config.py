@@ -11,7 +11,6 @@ for FPGAs — resource usage.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
 
 __all__ = ["ImplConfig"]
 

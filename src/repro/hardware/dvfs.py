@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Tuple
 
-from .specs import DeviceType, FPGASpec, GPUSpec
+from .specs import DeviceType
 
 __all__ = ["PowerState", "DVFSPolicy", "OperatingPoint"]
 

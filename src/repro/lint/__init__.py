@@ -1,0 +1,64 @@
+"""``repro.lint`` — static diagnostics for PPGs, design points, schedules.
+
+A rule-registry lint engine over Poly's three layers:
+
+* **pattern layer** — PPG edge shape/dtype compatibility, scatter-write
+  hazards, fusion legality, orphans and cycles (``PPG00x`` rules);
+* **optimization layer** — Table-I knob applicability, FPGA resource
+  budgets, degenerate work-group sizes (``OPT00x`` rules);
+* **runtime layer** — kernel-graph legality, QoS-feasibility lower
+  bounds, device-pool implementation coverage (``RT00x`` rules).
+
+Entry points: :func:`run_lint` for any lintable object, the
+``repro lint`` CLI subcommand, the ``validate=True`` gates in
+:mod:`repro.frontend.builder` and :mod:`repro.optim.dse`, and the
+scheduler admission check in :class:`repro.scheduler.PolyScheduler`.
+"""
+
+from .core import (
+    DesignCheck,
+    Diagnostic,
+    LintContext,
+    LintError,
+    LintReport,
+    LintRule,
+    Severity,
+    all_rules,
+    register_rule,
+    rules_for,
+    run_lint,
+)
+
+# Importing the rule modules populates the registry.
+from . import optim_rules, pattern_rules, runtime_rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "DesignCheck",
+    "Diagnostic",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "all_rules",
+    "register_rule",
+    "rules_for",
+    "run_lint",
+    "lint_application",
+]
+
+
+def lint_application(app, specs=(), design_spaces=None, devices=(), qos_ms=None):
+    """Lint one :class:`~repro.apps.base.Application` end to end.
+
+    ``specs``/``design_spaces``/``devices`` are optional context: with
+    only the app, the structural pattern/graph rules run; adding the DSE
+    product and a device pool enables the runtime-feasibility rules.
+    """
+    ctx = LintContext(
+        specs=tuple(specs),
+        design_spaces=design_spaces,
+        devices=tuple(devices),
+        qos_ms=qos_ms,
+    )
+    return run_lint(app, ctx)

@@ -1,0 +1,171 @@
+"""Runtime-layer lint rules: kernel-graph legality and QoS feasibility.
+
+These rules inspect :class:`~repro.scheduler.kernel_graph.KernelGraph`
+objects, optionally against the DSE product (``ctx.design_spaces``),
+the QoS bound (``ctx.qos_ms``) and the device pool (``ctx.devices``).
+The scheduler admission check runs them before Step 1 so infeasible
+requests are rejected with a diagnostic instead of being scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+import networkx as nx
+
+from ..scheduler.kernel_graph import KernelGraph
+from .core import Diagnostic, LintContext, Severity, register_rule
+
+__all__: List[str] = []
+
+
+@register_rule(
+    "RT001",
+    Severity.ERROR,
+    (KernelGraph,),
+    "application kernel graph is empty or cyclic",
+)
+def check_graph_acyclic(graph: KernelGraph, ctx: LintContext) -> Iterator[Diagnostic]:
+    """The two-step scheduler list-schedules in topological order; a
+    cycle (or an empty graph) has no valid schedule at all."""
+    loc = ctx.prefix(graph.name)
+    if len(graph) == 0:
+        yield Diagnostic(
+            rule="RT001",
+            severity=Severity.ERROR,
+            location=loc,
+            message="kernel graph has no kernels",
+            hint="add at least one kernel before scheduling",
+        )
+        return
+    if not nx.is_directed_acyclic_graph(graph.graph):
+        cycle = nx.find_cycle(graph.graph)
+        path = " -> ".join(u for u, _ in cycle) + f" -> {cycle[0][0]}"
+        yield Diagnostic(
+            rule="RT001",
+            severity=Severity.ERROR,
+            location=loc,
+            message=f"dependency cycle: {path}",
+            hint="kernel graphs must be DAGs (Section V)",
+        )
+
+
+def _best_case_latency_ms(
+    graph: KernelGraph, ctx: LintContext
+) -> Optional[Dict[str, float]]:
+    """Per-kernel zero-load lower bound: the fastest implementation on
+    any platform, ignoring transfers and queueing.  ``None`` when any
+    kernel has no design space (RT003's concern, not RT002's)."""
+    assert ctx.design_spaces is not None
+    best: Dict[str, float] = {}
+    for name in graph.kernel_names:
+        lats = [
+            space.min_latency().latency_ms
+            for (kname, _), space in ctx.design_spaces.items()
+            if kname == name
+        ]
+        if not lats:
+            return None
+        best[name] = min(lats)
+    return best
+
+
+@register_rule(
+    "RT002",
+    Severity.ERROR,
+    (KernelGraph,),
+    "critical-path latency lower bound already exceeds the QoS bound",
+)
+def check_qos_feasibility(graph: KernelGraph, ctx: LintContext) -> Iterator[Diagnostic]:
+    """If the sum of best-case kernel latencies along the critical path
+    beats the 200 ms bound with zero queueing and free transfers, no
+    schedule can ever meet QoS — reject at admission."""
+    if ctx.design_spaces is None or ctx.qos_ms is None:
+        return
+    if len(graph) == 0 or not nx.is_directed_acyclic_graph(graph.graph):
+        return  # RT001 already fired
+    best = _best_case_latency_ms(graph, ctx)
+    if best is None:
+        return  # RT003 already fired
+    finish: Dict[str, float] = {}
+    for name in nx.topological_sort(graph.graph):
+        ready = max((finish[p] for p in graph.predecessors(name)), default=0.0)
+        finish[name] = ready + best[name]
+    lower_bound = max(finish.values())
+    if lower_bound > ctx.qos_ms:
+        critical = max(finish, key=lambda n: finish[n])
+        yield Diagnostic(
+            rule="RT002",
+            severity=Severity.ERROR,
+            location=ctx.prefix(graph.name),
+            message=(
+                f"critical-path lower bound {lower_bound:.1f} ms exceeds the "
+                f"QoS bound {ctx.qos_ms:.1f} ms even with zero queueing "
+                f"(path ends at {critical!r})"
+            ),
+            hint="raise the QoS bound, shrink the kernels, or add faster platforms",
+        )
+
+
+@register_rule(
+    "RT003",
+    Severity.ERROR,
+    (KernelGraph,),
+    "kernel has no implementation covering the device pool",
+)
+def check_implementation_coverage(
+    graph: KernelGraph, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """Step 1 raises a bare RuntimeError mid-schedule when a kernel has
+    no design space on any pooled device; admission should catch the
+    coverage gap up front."""
+    if ctx.design_spaces is None:
+        return
+    covered: Dict[str, Set[str]] = {name: set() for name in graph.kernel_names}
+    for (kname, platform) in ctx.design_spaces:
+        if kname in covered:
+            covered[kname].add(platform)
+    pool_platforms = {d.platform for d in ctx.devices}
+    pool_families = {d.device_type for d in ctx.devices}
+    for name, platforms in covered.items():
+        loc = ctx.prefix(f"{graph.name}/{name}")
+        if not platforms:
+            yield Diagnostic(
+                rule="RT003",
+                severity=Severity.ERROR,
+                location=loc,
+                message=f"kernel {name!r} has no design space on any platform",
+                hint="run DSE for this kernel before scheduling",
+            )
+            continue
+        if pool_platforms and not (platforms & pool_platforms):
+            yield Diagnostic(
+                rule="RT003",
+                severity=Severity.ERROR,
+                location=loc,
+                message=(
+                    f"kernel {name!r} has implementations only for "
+                    f"{sorted(platforms)}, none of which is in the device "
+                    f"pool {sorted(pool_platforms)}"
+                ),
+                hint="explore the kernel on the pooled platforms",
+            )
+            continue
+        if len(pool_families) > 1:
+            families = {
+                space.device_type
+                for (kname, platform), space in ctx.design_spaces.items()
+                if kname == name and platform in pool_platforms
+            }
+            if len(families) == 1:
+                only = next(iter(families)).value
+                yield Diagnostic(
+                    rule="RT003",
+                    severity=Severity.INFO,
+                    location=loc,
+                    message=(
+                        f"kernel {name!r} is only implemented on the {only} "
+                        "family; the heterogeneous scheduler cannot migrate it"
+                    ),
+                    hint="add design points for the other family to widen the trade-off",
+                )

@@ -9,8 +9,8 @@ pair — the object Fig. 1(c) plots and the runtime scheduler consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..hardware.config import ImplConfig
 from ..hardware.specs import DeviceType
@@ -75,6 +75,7 @@ class KernelDesignSpace:
         platform: str,
         device_type: DeviceType,
         points: Sequence[DesignPoint],
+        pruned_invalid: int = 0,
     ) -> None:
         if not points:
             raise ValueError(
@@ -84,6 +85,9 @@ class KernelDesignSpace:
         self.kernel_name = kernel_name
         self.platform = platform
         self.device_type = device_type
+        #: Number of enumerated configs the lint validation gate dropped
+        #: before model evaluation (``explore_kernel(validate=True)``).
+        self.pruned_invalid = pruned_invalid
         # Re-index points so labels are stable.
         self.points: List[DesignPoint] = [
             DesignPoint(

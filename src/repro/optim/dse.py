@@ -12,16 +12,21 @@ per-kernel design counts of Table II).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hardware import FPGAModel, GPUModel, ImplConfig, model_for
-from ..hardware.specs import DeviceType, FPGASpec, GPUSpec
+from ..hardware import ImplConfig, model_for
+from ..hardware.specs import DeviceType
 from ..patterns.ppg import Kernel
 from .design_point import DesignPoint, KernelDesignSpace
 from .global_opt import GlobalOptimizer
 from .local_opt import LocalOptimizer
 
-__all__ = ["explore_kernel", "explore_application", "enumerate_configs"]
+__all__ = [
+    "explore_kernel",
+    "explore_application",
+    "enumerate_configs",
+    "prune_invalid_configs",
+]
 
 
 def enumerate_configs(kernel: Kernel, spec) -> List[ImplConfig]:
@@ -45,6 +50,28 @@ def enumerate_configs(kernel: Kernel, spec) -> List[ImplConfig]:
         for fused in fused_options:
             configs.append(ImplConfig(fused=fused, **assignment))
     return configs
+
+
+def prune_invalid_configs(
+    kernel: Kernel, spec, configs: Sequence[ImplConfig]
+) -> Tuple[List[ImplConfig], "LintReport"]:
+    """Drop configs the optimization-layer lint rules reject.
+
+    Runs the ``OPT00x`` rules (knob applicability, FPGA resource budget,
+    degenerate work-groups) over every candidate *before* the analytical
+    models are evaluated; returns the surviving configs plus the full
+    report so callers can surface why points were pruned.
+    """
+    from ..lint import DesignCheck, LintReport, run_lint
+
+    report = LintReport()
+    kept: List[ImplConfig] = []
+    for config in configs:
+        point_report = run_lint(DesignCheck(kernel, config, spec))
+        report.extend(point_report)
+        if point_report.ok:
+            kept.append(config)
+    return kept, report
 
 
 def _evaluate(
@@ -97,13 +124,31 @@ def explore_kernel(
     kernel: Kernel,
     spec,
     target_points: Optional[int] = None,
+    validate: bool = False,
 ) -> KernelDesignSpace:
     """Explore one kernel on one platform; returns its design space.
 
     ``target_points`` mirrors Table II's per-kernel design counts; when
     given, the evaluated space is thinned to that size.
+
+    ``validate=True`` lints the kernel first (raising
+    :class:`~repro.lint.LintError` on pattern-layer errors) and prunes
+    configs the optimization-layer rules reject *before* the analytical
+    models run; the number of pruned points is recorded on the returned
+    space as ``pruned_invalid``.
     """
+    pruned = 0
+    if validate:
+        from ..lint import LintContext, run_lint
+
+        run_lint(kernel, LintContext(spec=spec)).raise_if_errors(
+            f"kernel {kernel.name!r}"
+        )
     configs = enumerate_configs(kernel, spec)
+    if validate:
+        kept, _report = prune_invalid_configs(kernel, spec, configs)
+        pruned = len(configs) - len(kept)
+        configs = kept
     points = _evaluate(kernel, spec, configs)
     if not points:
         raise RuntimeError(
@@ -111,18 +156,23 @@ def explore_kernel(
         )
     if target_points is not None:
         points = _subsample(points, target_points)
-    return KernelDesignSpace(kernel.name, spec.name, spec.device_type, points)
+    return KernelDesignSpace(
+        kernel.name, spec.name, spec.device_type, points, pruned_invalid=pruned
+    )
 
 
 def explore_application(
     kernels: Sequence[Kernel],
     specs: Sequence,
     targets: Optional[Dict[Tuple[str, DeviceType], int]] = None,
+    validate: bool = False,
 ) -> Dict[Tuple[str, str], KernelDesignSpace]:
     """Explore every kernel of an application on every platform.
 
     Returns ``{(kernel_name, platform_name): KernelDesignSpace}`` — the
     complete compile-time product the runtime scheduler loads.
+    ``validate`` gates each per-kernel exploration through the lint
+    rules (see :func:`explore_kernel`).
     """
     spaces: Dict[Tuple[str, str], KernelDesignSpace] = {}
     for kernel in kernels:
@@ -131,6 +181,6 @@ def explore_application(
             if targets is not None:
                 target = targets.get((kernel.name, spec.device_type))
             spaces[(kernel.name, spec.name)] = explore_kernel(
-                kernel, spec, target_points=target
+                kernel, spec, target_points=target, validate=validate
             )
     return spaces

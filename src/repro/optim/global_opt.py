@@ -14,10 +14,10 @@ The global pass looks across patterns:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from ..hardware.specs import DeviceType, FPGASpec, GPUSpec
-from ..patterns.analysis import CommunicationProfile, analyze_kernel
+from ..hardware.specs import DeviceType
+from ..patterns.analysis import analyze_kernel
 from ..patterns.annotations import Pattern
 from ..patterns.ppg import Kernel
 

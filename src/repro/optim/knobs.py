@@ -9,7 +9,7 @@ knob of :class:`~repro.hardware.config.ImplConfig`.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Sequence, Tuple
 
 from ..patterns.annotations import PatternKind
 from ..hardware.specs import DeviceType

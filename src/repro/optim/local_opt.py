@@ -10,13 +10,13 @@ the global pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List, Tuple
 
 from ..hardware.specs import DeviceType
 from ..patterns.analysis import KernelAnalysis, analyze_kernel
 from ..patterns.annotations import Pattern, PatternKind
 from ..patterns.ppg import Kernel
-from .knobs import applicable_knobs, knob_candidates
+from .knobs import knob_candidates
 
 __all__ = ["LocalPlan", "LocalOptimizer"]
 

@@ -8,7 +8,7 @@ harness.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 

@@ -14,10 +14,10 @@ The result feeds both local and global optimization (Section IV-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .annotations import Pattern, PatternKind
-from .ppg import PPG, Kernel
+from .ppg import Kernel
 
 __all__ = [
     "PatternProfile",

@@ -24,7 +24,7 @@ import enum
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 __all__ = [
     "PatternKind",

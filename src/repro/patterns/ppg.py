@@ -9,11 +9,11 @@ optimization pass (fusion, transfer-strategy selection) operates on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from .annotations import Pattern, PatternKind, Tensor, Workload
+from .annotations import Pattern, PatternKind, Workload
 from .cdfg import CDFG, lower_pattern
 
 __all__ = ["PPGEdge", "PPG", "Kernel"]
@@ -54,19 +54,24 @@ class PPG:
     def connect(
         self, src: Pattern, dst: Pattern, bytes_moved: Optional[int] = None
     ) -> PPGEdge:
-        """Add a data-dependency edge; defaults to the producer's output size."""
+        """Add a data-dependency edge; defaults to the producer's output size.
+
+        Acyclicity is preserved incrementally: the edge ``src -> dst``
+        closes a cycle iff ``src`` is already reachable *from* ``dst``,
+        so a single reachability probe over ``dst``'s descendants
+        suffices — no full-graph DAG re-check per insert.
+        """
         if src not in self.graph or dst not in self.graph:
             raise KeyError("add both patterns to the PPG before connecting them")
-        if bytes_moved is None:
-            bytes_moved = src.output.nbytes
-        edge = PPGEdge(src, dst, bytes_moved)
-        self.graph.add_edge(src, dst, edge=edge)
-        if not nx.is_directed_acyclic_graph(self.graph):
-            self.graph.remove_edge(src, dst)
+        if nx.has_path(self.graph, dst, src):
             raise ValueError(
                 f"edge {src.name} -> {dst.name} would create a cycle in PPG "
                 f"{self.name!r}"
             )
+        if bytes_moved is None:
+            bytes_moved = src.output.nbytes
+        edge = PPGEdge(src, dst, bytes_moved)
+        self.graph.add_edge(src, dst, edge=edge)
         return edge
 
     # -- queries -----------------------------------------------------------

@@ -15,8 +15,8 @@ fit each side's budget.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..hardware.specs import (
     AMD_W9100,
@@ -24,7 +24,6 @@ from ..hardware.specs import (
     NVIDIA_K20,
     XILINX_7V3,
     XILINX_ZCU102,
-    DeviceType,
     FPGASpec,
     GPUSpec,
 )

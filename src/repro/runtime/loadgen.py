@@ -9,7 +9,7 @@ reduce to generating sorted arrival timestamps.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ under a QoS bound, and violation ratios.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ def violation_ratio(latencies_ms: Sequence[float], bound_ms: float) -> float:
         raise ValueError("no latencies to summarize")
     if bound_ms <= 0:
         raise ValueError("bound must be positive")
-    over = sum(1 for l in latencies_ms if l > bound_ms)
+    over = sum(1 for lat in latencies_ms if lat > bound_ms)
     return over / len(latencies_ms)
 
 

@@ -14,13 +14,12 @@ the asymmetry behind Fig. 9/12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from ..apps.base import Application
-from ..hardware.specs import DeviceType
 from ..optim.design_point import KernelDesignSpace
 from .cluster import SchedulingPolicy, SystemConfig
 from .metrics import tail_latency_p99, violation_ratio

@@ -8,8 +8,7 @@ PCIe when producer and consumer land on different accelerators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
@@ -43,15 +42,16 @@ class KernelGraph:
         """
         if src not in self._kernels or dst not in self._kernels:
             raise KeyError(f"unknown kernel in edge {src!r} -> {dst!r}")
+        # The edge closes a cycle iff src is already reachable from dst;
+        # probing dst's descendants avoids a full DAG re-check per insert.
+        if nx.has_path(self.graph, dst, src):
+            raise ValueError(f"edge {src!r} -> {dst!r} creates a cycle")
         if nbytes is None:
             producer = self._kernels[src]
             nbytes = sum(p.output.nbytes for p in producer.ppg.sinks())
         if nbytes < 0:
             raise ValueError("edge bytes must be non-negative")
         self.graph.add_edge(src, dst, nbytes=nbytes)
-        if not nx.is_directed_acyclic_graph(self.graph):
-            self.graph.remove_edge(src, dst)
-            raise ValueError(f"edge {src!r} -> {dst!r} creates a cycle")
 
     # -- queries -----------------------------------------------------------
 

@@ -16,7 +16,7 @@ earliest using the fastest implementation available on that device.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.pcie import PCIeLink
 from ..optim.design_point import DesignPoint, KernelDesignSpace

@@ -15,8 +15,7 @@ end-to-end latencies and power draw.  Its two products are:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 import math
 

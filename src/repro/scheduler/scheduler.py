@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.pcie import PCIeLink
-from ..hardware.specs import DeviceType
 from ..optim.design_point import DesignPoint, KernelDesignSpace
 from .energy_opt import EnergyOptimizer, EnergyStep
 from .kernel_graph import KernelGraph
@@ -25,7 +24,22 @@ from .latency_opt import LatencyOptimizer
 from .priority import priority_order
 from .types import Assignment, DeviceSlot, Schedule
 
-__all__ = ["PolyScheduler", "StaticScheduler"]
+__all__ = ["PolyScheduler", "StaticScheduler", "AdmissionError"]
+
+
+class AdmissionError(RuntimeError):
+    """A request was rejected at admission with lint diagnostics.
+
+    Raised by :meth:`PolyScheduler.schedule` (with ``validate=True``)
+    instead of scheduling a kernel graph that is structurally illegal,
+    lacks implementation coverage for the device pool, or whose
+    critical-path lower bound already exceeds the QoS bound.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        lines = "\n".join(d.render() for d in report.errors)
+        super().__init__(f"request rejected at admission:\n{lines}")
 
 
 class PolyScheduler:
@@ -46,11 +60,30 @@ class PolyScheduler:
             design_spaces, self.latency_optimizer
         )
 
+    def admission_check(
+        self, graph: KernelGraph, devices: Sequence[DeviceSlot]
+    ):
+        """Lint the request against this scheduler's design spaces.
+
+        Runs the runtime-layer rules only (graph legality, QoS
+        lower-bound feasibility, implementation coverage of the device
+        pool); returns the :class:`~repro.lint.LintReport`.
+        """
+        from ..lint import LintContext, run_lint
+
+        ctx = LintContext(
+            design_spaces=self.design_spaces,
+            qos_ms=self.latency_bound_ms,
+            devices=tuple(devices),
+        )
+        return run_lint(graph, ctx, expand=False)
+
     def schedule(
         self,
         graph: KernelGraph,
         devices: Sequence[DeviceSlot],
         optimize_energy: bool = True,
+        validate: bool = False,
     ) -> Tuple[Schedule, List[EnergyStep]]:
         """Run both steps; returns the final schedule and accepted swaps.
 
@@ -58,7 +91,15 @@ class PolyScheduler:
         so the latency slack Step 2 can spend is what remains after
         queueing — under load the scheduler naturally degrades to pure
         latency optimization.
+
+        ``validate=True`` runs the admission check first and raises
+        :class:`AdmissionError` (carrying the diagnostics) instead of
+        scheduling an infeasible request.
         """
+        if validate:
+            report = self.admission_check(graph, devices)
+            if not report.ok:
+                raise AdmissionError(report)
         step1 = self.latency_optimizer.schedule(graph, devices)
         if not optimize_energy:
             return step1, []

@@ -5,7 +5,7 @@ import pytest
 from repro.hardware import AMD_W9100, XILINX_7V3, ImplConfig
 from repro.hardware.specs import DeviceType
 from repro.optim import DesignPoint, KernelDesignSpace, explore_kernel
-from repro.patterns import Kernel, Map, Pipeline, PPG, Reduce, Tensor
+from repro.patterns import Kernel, Map, Pipeline, PPG, Tensor
 from repro.scheduler import DeviceSlot, KernelGraph
 
 

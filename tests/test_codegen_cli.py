@@ -1,6 +1,5 @@
 """Tests for the OpenCL code generator and the CLI."""
 
-import pytest
 
 from conftest import small_kernel
 from repro.cli import build_parser, main

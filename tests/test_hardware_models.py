@@ -16,7 +16,7 @@ from repro.hardware import (
 )
 from repro.hardware.fpga_model import ResourceUsage
 from repro.hardware.specs import DeviceType, spec_by_name
-from repro.patterns import Kernel, Map, Pipeline, PPG, Tensor
+from repro.patterns import Kernel, Map, PPG, Tensor
 
 
 class TestSpecs:
@@ -101,7 +101,7 @@ class TestGPUModel:
 
         x = Tensor("x", (1 << 20,))
         ppg = PPG("irr")
-        g = ppg.add_pattern(Gather((x,), index_space=1 << 20))
+        ppg.add_pattern(Gather((x,), index_space=1 << 20))
         k = Kernel("irr", ppg)
         plain = self.model.estimate(k, ImplConfig()).latency_ms
         coal = self.model.estimate(k, ImplConfig(memory_coalescing=True)).latency_ms
@@ -247,7 +247,7 @@ class TestDVFS:
 
     def test_pick_level_monotone_in_load(self):
         policy = DVFSPolicy(AMD_W9100)
-        levels = [policy.pick_level(l) for l in (0.0, 0.3, 0.6, 0.95)]
+        levels = [policy.pick_level(load) for load in (0.0, 0.3, 0.6, 0.95)]
         assert levels == sorted(levels)
         assert policy.pick_level(0.95) == 1.0
 

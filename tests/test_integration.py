@@ -181,3 +181,26 @@ class TestSchedulerIntegration:
         arr = runtime.poisson_arrivals(20.0, 2000.0)
         result = runtime.run_simulation(system, app, spaces, arr)
         assert result.p99_ms > 0
+
+
+class TestLintIntegration:
+    def test_all_bundled_apps_lint_clean(self):
+        from repro.lint import LintContext, run_lint
+
+        system = runtime.setting("I", "Heter-Poly")
+        for name in sorted(apps.APP_BUILDERS):
+            app = apps.build(name)
+            report = run_lint(
+                app, LintContext(specs=tuple(system.platforms))
+            )
+            assert report.ok, f"{name}: {report.render()}"
+
+    def test_asr_passes_scheduler_admission(self, asr_setup):
+        app, systems, spaces = asr_setup
+        system = systems["Heter-Poly"]
+        devices = [
+            DeviceSlot(device_id, spec.name, spec.device_type)
+            for device_id, spec in system.device_inventory()
+        ]
+        scheduler = PolyScheduler(spaces["Heter-Poly"], app.qos_ms)
+        assert scheduler.admission_check(app.graph, devices).ok

@@ -1,6 +1,5 @@
 """Unit tests for the automatic pattern analysis (Section IV-A)."""
 
-import pytest
 
 from repro.patterns import (
     Gather,

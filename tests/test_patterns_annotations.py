@@ -1,6 +1,5 @@
 """Unit tests for the parallel-pattern annotation layer."""
 
-import math
 
 import pytest
 

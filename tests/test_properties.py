@@ -3,13 +3,13 @@
 import math
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from conftest import synthetic_space
 from repro.hardware import AMD_W9100, GPUModel, ImplConfig, PCIeLink, XILINX_7V3, FPGAModel
 from repro.hardware.specs import DeviceType
 from repro.optim import pareto_front
-from repro.patterns import Kernel, Map, PPG, Pipeline, Tensor
+from repro.patterns import Kernel, Map, PPG, Tensor
 from repro.runtime import (
     energy_proportionality,
     max_throughput_under_qos,
@@ -135,7 +135,7 @@ class TestMetricProperties:
         # above its own proportional line => EP <= 1, and EP == 1 only
         # for zero idle power.
         loads = [i / (n - 1) for i in range(n)]
-        curve = [idle + l * peak_delta for l in loads]
+        curve = [idle + load * peak_delta for load in loads]
         ep = energy_proportionality(loads, curve)
         assert ep <= 1.0 + 1e-9
         if idle == 0.0:

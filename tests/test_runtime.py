@@ -135,13 +135,13 @@ class TestMetrics:
 
     def test_ep_ideal_system_is_one(self):
         loads = [0.1 * i for i in range(11)]
-        powers = [l * 300.0 for l in loads]
+        powers = [load * 300.0 for load in loads]
         assert energy_proportionality(loads, powers) == pytest.approx(1.0)
 
     def test_ep_decreases_with_idle_power(self):
         loads = [0.1 * i for i in range(11)]
-        flat = [200.0 + l * 100.0 for l in loads]
-        steep = [50.0 + l * 250.0 for l in loads]
+        flat = [200.0 + load * 100.0 for load in loads]
+        steep = [50.0 + load * 250.0 for load in loads]
         assert energy_proportionality(loads, steep) > energy_proportionality(
             loads, flat
         )
