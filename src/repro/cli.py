@@ -26,6 +26,14 @@ Commands
     (all six by default).  ``--dse`` additionally validates the DSE
     product and the scheduler admission of each app.  Exits nonzero
     when any ERROR diagnostic fires.
+
+``faults APP [--rps 30] [--crash DEV@MS] [--recover DEV@MS]
+        [--mtbf-ms N --mttr-ms N] [--seed 0] [--json]``
+    Chaos experiment: serve a Poisson stream while injecting device
+    faults (explicit ``--crash``/``--recover`` events, or a random
+    MTBF/MTTR schedule) and report availability, tail latency, QoS
+    violations and failover/recovery statistics.  The schedule and
+    retry policy are linted (RT004/RT005) before the run.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ _FIGURES = {
     name: getattr(experiments, name)
     for name in (
         "fig01", "fig06", "table2", "fig07", "fig08", "fig09",
-        "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "faults",
     )
 }
 
@@ -185,6 +193,122 @@ def _cmd_lint(args) -> int:
     return 0 if all(r.ok for r in reports.values()) else 1
 
 
+def _parse_device_at(text: str):
+    """Parse a ``DEVICE@MS`` event spec (e.g. ``fpga0@4000``)."""
+    device, sep, at = text.partition("@")
+    if not sep or not device:
+        raise argparse.ArgumentTypeError(
+            f"expected DEVICE@MS (e.g. fpga0@4000), got {text!r}"
+        )
+    try:
+        return device, float(at)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad timestamp in {text!r}; expected DEVICE@MS"
+        ) from None
+
+
+def _build_fault_schedule(args):
+    from .faults import FaultSchedule
+    from .faults.events import FaultEvent, FaultKind
+
+    events = [
+        FaultEvent(at_ms, FaultKind.DEVICE_CRASH, device)
+        for device, at_ms in (args.crash or [])
+    ]
+    events += [
+        FaultEvent(at_ms, FaultKind.RECOVERY, device)
+        for device, at_ms in (args.recover or [])
+    ]
+    if args.mtbf_ms is not None:
+        if events:
+            print(
+                "--mtbf-ms cannot be combined with --crash/--recover",
+                file=sys.stderr,
+            )
+            return None
+        system = runtime.setting(args.setting, args.system)
+        device_ids = [device_id for device_id, _ in system.device_inventory()]
+        return FaultSchedule.from_mtbf(
+            device_ids,
+            duration_ms=args.ms,
+            mtbf_ms=args.mtbf_ms,
+            mttr_ms=args.mttr_ms,
+            seed=args.seed,
+        )
+    if not events:
+        print(
+            "no faults given: use --crash/--recover or --mtbf-ms",
+            file=sys.stderr,
+        )
+        return None
+    return FaultSchedule(tuple(events))
+
+
+def _cmd_faults(args) -> int:
+    from .faults import FaultInjector, RetryPolicy
+
+    schedule = _build_fault_schedule(args)
+    if schedule is None:
+        return 2
+    system = runtime.setting(args.setting, args.system)
+    policy = RetryPolicy()
+    names = [n.upper() for n in (args.app or ["ASR"])]
+    rows = {}
+    for name in names:
+        if name not in apps_mod.APP_BUILDERS:
+            print(
+                f"unknown app {name!r}; choose from {sorted(apps_mod.APP_BUILDERS)}",
+                file=sys.stderr,
+            )
+            return 2
+        app = apps_mod.build(name)
+        spaces = app.explore(system.platforms)
+        node = runtime.LeafNode(system, app, spaces)
+        ctx = LintContext(
+            design_spaces=spaces, devices=tuple(node.devices), qos_ms=app.qos_ms
+        )
+        gate = run_lint(schedule, ctx)
+        gate.extend(run_lint(policy, ctx))
+        for diag in gate:
+            print(f"  {diag.render()}", file=sys.stderr)
+        if not gate.ok:
+            return 1
+        arrivals = runtime.poisson_arrivals(args.rps, args.ms)
+        result = runtime.run_simulation(
+            system, app, spaces, arrivals,
+            faults=FaultInjector(schedule, retry_policy=policy),
+        )
+        report = result.faults
+        rows[name] = {
+            "availability": result.availability,
+            "p99_ms": result.p99_ms,
+            "violations": result.qos_violations(app.qos_ms),
+            "mean_recovery_ms": report.mean_recovery_ms,
+            **{
+                k: v
+                for k, v in report.summary().items()
+                if k != "mean_recovery_ms"
+            },
+        }
+    if args.json:
+        print(json.dumps({"setting": args.setting, "system": args.system,
+                          "rps": args.rps, "apps": rows}, indent=2))
+        return 0
+    for name, row in rows.items():
+        print(f"{name} on {args.system}/Setting-{args.setting} @ {args.rps:g} rps")
+        print(f"  availability : {row['availability']*100:.2f} %")
+        print(f"  p99          : {row['p99_ms']:.1f} ms")
+        print(f"  violations   : {row['violations']*100:.2f} %")
+        print(f"  recovery     : {row['mean_recovery_ms']:.1f} ms mean "
+              f"({int(row['recoveries'])} episode(s))")
+        print(f"  retries      : {int(row['retries'])} "
+              f"({int(row['failovers'])} failovers)")
+        print(f"  shed         : {int(row['shed'])}   "
+              f"failed: {int(row['failed_requests'])}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Poly (HPCA 2019) reproduction toolkit"
@@ -246,6 +370,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--setting", default="I", choices=("I", "II", "III"))
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("faults", help="fault-injection chaos experiment")
+    p.add_argument(
+        "--app",
+        action="append",
+        help="benchmark short name (repeatable); ASR when omitted",
+    )
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--system",
+        default="Heter-Poly",
+        choices=("Homo-GPU", "Homo-FPGA", "Heter-Poly"),
+    )
+    p.add_argument("--rps", type=float, default=30.0)
+    p.add_argument("--ms", type=float, default=8_000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--crash",
+        action="append",
+        type=_parse_device_at,
+        metavar="DEVICE@MS",
+        help="fail a device at a time (repeatable), e.g. fpga0@4000",
+    )
+    p.add_argument(
+        "--recover",
+        action="append",
+        type=_parse_device_at,
+        metavar="DEVICE@MS",
+        help="repair a device at a time (repeatable)",
+    )
+    p.add_argument(
+        "--mtbf-ms",
+        type=float,
+        help="draw a random fault schedule with this mean time between failures",
+    )
+    p.add_argument(
+        "--mttr-ms",
+        type=float,
+        default=1_000.0,
+        help="mean time to repair for --mtbf-ms schedules",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_faults)
     return parser
 
 

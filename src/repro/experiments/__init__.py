@@ -17,9 +17,11 @@ paper's qualitative shapes.
 | fig12    | Trace-driven power savings and QoS violations          |
 | fig13    | Throughput vs GPU/FPGA power split (1000 W cap)        |
 | fig14    | Cost efficiency across the three settings              |
+| faults   | Fault-rate sweep: availability/QoS vs MTBF (new)       |
 """
 
 from . import (
+    faults,
     fig01,
     fig06,
     fig07,
@@ -36,6 +38,7 @@ from . import (
 
 __all__ = [
     "harness",
+    "faults",
     "fig01",
     "fig06",
     "table2",

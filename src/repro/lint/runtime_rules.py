@@ -1,11 +1,18 @@
-"""Runtime-layer lint rules: kernel-graph legality and QoS feasibility.
+"""Runtime-layer lint rules: kernel-graph legality, QoS feasibility,
+and chaos-experiment sanity.
 
 These rules inspect :class:`~repro.scheduler.kernel_graph.KernelGraph`
 objects, optionally against the DSE product (``ctx.design_spaces``),
 the QoS bound (``ctx.qos_ms``) and the device pool (``ctx.devices``).
 The scheduler admission check runs them before Step 1 so infeasible
 requests are rejected with a diagnostic instead of being scheduled.
-"""
+
+RT004/RT005 extend the same gate to fault-injection inputs
+(:class:`~repro.faults.events.FaultSchedule`,
+:class:`~repro.faults.policy.RetryPolicy`): a chaos experiment whose
+schedule leaves a kernel with zero eligible devices, or whose retry
+policy can never give up, wastes a full simulation before the problem
+surfaces."""
 
 from __future__ import annotations
 
@@ -13,6 +20,8 @@ from typing import Dict, Iterator, List, Optional, Set
 
 import networkx as nx
 
+from ..faults.events import FaultSchedule
+from ..faults.policy import RetryPolicy
 from ..scheduler.kernel_graph import KernelGraph
 from .core import Diagnostic, LintContext, Severity, register_rule
 
@@ -169,3 +178,118 @@ def check_implementation_coverage(
                     ),
                     hint="add design points for the other family to widen the trade-off",
                 )
+
+
+def _device_platform(device: object) -> str:
+    """Platform name for either pool representation: scheduler
+    ``DeviceSlot`` (``.platform``) or runtime ``AcceleratorInstance``
+    (``.spec.name``)."""
+    platform = getattr(device, "platform", None)
+    if platform is not None:
+        return platform
+    return device.spec.name
+
+
+@register_rule(
+    "RT004",
+    Severity.ERROR,
+    (FaultSchedule,),
+    "fault schedule permanently kills every device a kernel can run on",
+)
+def check_schedule_leaves_survivors(
+    schedule: FaultSchedule, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """Failover replans over survivors; if a schedule permanently fails
+    every pooled device of the only family some kernel is implemented
+    on, that kernel has nowhere left to run and every request will
+    exhaust its retries.  Such a schedule measures nothing but the
+    abandonment path — almost always an experiment-setup mistake."""
+    if not ctx.devices or ctx.design_spaces is None:
+        return
+    dead = {
+        d.device_id
+        for d in ctx.devices
+        if schedule.permanently_failed(d.device_id)
+    }
+    if not dead:
+        return
+    # Families with at least one survivor in the pool.
+    surviving_families = {
+        d.device_type for d in ctx.devices if d.device_id not in dead
+    }
+    pool_platforms = {_device_platform(d) for d in ctx.devices}
+    # kernel -> families it can run on within this pool
+    families: Dict[str, Set[object]] = {}
+    for (kname, platform), space in ctx.design_spaces.items():
+        if platform in pool_platforms:
+            families.setdefault(kname, set()).add(space.device_type)
+    for kname, fams in sorted(families.items()):
+        if not (fams & surviving_families):
+            needed = sorted(f.value for f in fams)
+            yield Diagnostic(
+                rule="RT004",
+                severity=Severity.ERROR,
+                location=ctx.prefix(kname),
+                message=(
+                    f"schedule permanently fails every pooled device of "
+                    f"{needed} — the only famil"
+                    f"{'y' if len(needed) == 1 else 'ies'} implementing "
+                    f"kernel {kname!r}; failover has no survivor to "
+                    "replan onto"
+                ),
+                hint=(
+                    "add a RECOVERY event, spare a device of the family, "
+                    "or widen the kernel's implementations"
+                ),
+            )
+
+
+@register_rule(
+    "RT005",
+    Severity.ERROR,
+    (RetryPolicy,),
+    "retry policy with zero timeout or unbounded backoff",
+)
+def check_retry_policy_bounded(
+    policy: RetryPolicy, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """Retries are how requests survive faults, but only a *bounded*
+    policy converges: a zero timeout re-dispatches into a still-dead
+    device with no detection delay modelled, and an uncapped (or
+    non-positive-cap) backoff grows without limit — both corrupt the
+    latency distribution the chaos run is meant to measure."""
+    loc = ctx.prefix("retry_policy")
+    if policy.timeout_ms <= 0:
+        yield Diagnostic(
+            rule="RT005",
+            severity=Severity.ERROR,
+            location=loc,
+            message=(
+                f"timeout_ms={policy.timeout_ms:g} models instantaneous "
+                "failure detection; the requester would never wait out a "
+                "latency timeout"
+            ),
+            hint="use a positive timeout (the default is 20 ms)",
+        )
+    if not policy.bounded:
+        yield Diagnostic(
+            rule="RT005",
+            severity=Severity.ERROR,
+            location=loc,
+            message=(
+                f"backoff cap {policy.backoff_cap_ms:g} ms does not bound "
+                "the exponential backoff; retry delays grow without limit"
+            ),
+            hint="set 0 < backoff_cap_ms < inf (the default is 80 ms)",
+        )
+    if policy.max_retries == 0:
+        yield Diagnostic(
+            rule="RT005",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                "max_retries=0 abandons a request on its first lost "
+                "execution; no failover can happen"
+            ),
+            hint="allow at least one retry to exercise failover",
+        )

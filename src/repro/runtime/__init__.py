@@ -11,9 +11,11 @@ from .cluster import (
 )
 from .loadgen import constant_arrivals, poisson_arrivals, trace_arrivals
 from .metrics import (
+    availability,
     energy_proportionality,
     ideal_power_curve,
     max_throughput_under_qos,
+    mean_recovery_ms,
     percentile_latency,
     tail_latency_p99,
     violation_ratio,
@@ -45,6 +47,8 @@ __all__ = [
     "energy_proportionality",
     "ideal_power_curve",
     "max_throughput_under_qos",
+    "availability",
+    "mean_recovery_ms",
     "TCOModel",
     "TCOParameters",
     "UtilizationTrace",

@@ -19,6 +19,8 @@ __all__ = [
     "energy_proportionality",
     "ideal_power_curve",
     "max_throughput_under_qos",
+    "availability",
+    "mean_recovery_ms",
 ]
 
 
@@ -87,6 +89,30 @@ def energy_proportionality(
     if area_ideal <= 0:
         raise ValueError("degenerate load range")
     return 1.0 - (area_actual - area_ideal) / area_ideal
+
+
+def availability(n_served: int, n_offered: int) -> float:
+    """Fraction of offered requests the system actually served — the
+    resilience subsystem's headline number (1.0 when nothing was shed
+    or abandoned; ``nan`` when nothing was offered)."""
+    if n_served < 0 or n_offered < 0:
+        raise ValueError("counts must be non-negative")
+    if n_served > n_offered:
+        raise ValueError("cannot serve more requests than were offered")
+    if n_offered == 0:
+        return float("nan")
+    return n_served / n_offered
+
+
+def mean_recovery_ms(durations_ms: Sequence[float]) -> float:
+    """Mean crash-to-failover recovery time; ``nan`` with no failures
+    (a fault-free run has no recovery episodes, not a zero-length
+    one)."""
+    if not len(durations_ms):
+        return float("nan")
+    if any(d < 0 for d in durations_ms):
+        raise ValueError("recovery durations must be non-negative")
+    return sum(durations_ms) / len(durations_ms)
 
 
 def max_throughput_under_qos(

@@ -17,16 +17,25 @@ hinges on:
 * **Execution noise** — realized latencies deviate from the analytical
   prediction by a few percent (the paper reports <6% model error), so
   the monitor's feedback correction has something to correct.
+* **Device health** — every instance carries a
+  :class:`~repro.faults.policy.DeviceHealth` state; with a
+  :class:`~repro.faults.injector.FaultInjector` attached, executions
+  lost to crashes or soft errors are retried under a timeout + capped-
+  backoff policy and failed over to surviving devices.  Without an
+  injector the fault machinery is fully inert: the request path is the
+  exact healthy-device code, bit-identical to a fault-free build.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
 from ..apps.base import Application
+from ..faults.events import FaultKind
+from ..faults.policy import DeviceHealth
 from ..hardware import DVFSPolicy, PCIeLink, model_for
 from ..hardware.specs import DeviceType
 from ..optim.design_point import DesignPoint, KernelDesignSpace
@@ -88,6 +97,72 @@ class AcceleratorInstance:
         #: (kernel_name, point_index) currently configured on an FPGA.
         self.loaded_impl: Optional[Tuple[str, int]] = None
         self.reconfig_ms = getattr(spec, "reconfig_ms", 0.0)
+        #: Health state driven by the fault-injection subsystem; a node
+        #: without an injector never leaves HEALTHY.
+        self.health = DeviceHealth.HEALTHY
+        #: Latency multiplier while thermally degraded (1.0 = nominal).
+        self.slowdown = 1.0
+        self.failed_at_ms: Optional[float] = None
+        #: True once the failover planner has quarantined this device.
+        self.failure_detected = False
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def is_schedulable(self) -> bool:
+        """False only for a failed device the planner has quarantined;
+        an undetected crash still attracts dispatches (they time out)."""
+        return not (self.health == DeviceHealth.FAILED and self.failure_detected)
+
+    def mark_failed(self, now_ms: float) -> None:
+        """Fail-stop crash: in-flight work dies with the device and it
+        stops drawing active power."""
+        self.health = DeviceHealth.FAILED
+        self.failed_at_ms = now_ms
+        self.failure_detected = False
+        for rec in self.records:
+            if rec.end_ms > now_ms:
+                rec.end_ms = max(rec.start_ms, now_ms)
+        self._open_batches.clear()
+        self.horizon_ms = min(self.horizon_ms, now_ms)
+
+    def mark_degraded(self, factor: float) -> None:
+        """Thermal throttle: executions stretch by ``factor``."""
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        self.health = DeviceHealth.DEGRADED
+        self.slowdown = factor
+
+    def mark_recovered(self, now_ms: float) -> None:
+        """Repair: back to nominal clocks; an FPGA returns with no
+        bitstream loaded (reconfiguration is paid again)."""
+        self.health = DeviceHealth.HEALTHY
+        self.slowdown = 1.0
+        self.failed_at_ms = None
+        self.failure_detected = False
+        self.horizon_ms = max(self.horizon_ms, now_ms)
+        self.loaded_impl = None
+        self._open_batches.clear()
+
+    def abort_execution(
+        self, kernel_name: str, point_index: int, end_ms: float, fault_ms: float
+    ) -> None:
+        """Cut short the just-reserved execution lost at ``fault_ms``:
+        its record stops accruing power there and the device's timeline
+        is wound back to what its surviving reservations need."""
+        for rec in reversed(self.records):
+            if (
+                rec.kernel_name == kernel_name
+                and rec.point_index == point_index
+                and rec.end_ms == end_ms
+            ):
+                rec.end_ms = max(rec.start_ms, min(rec.end_ms, fault_ms))
+                break
+        key = (kernel_name, point_index)
+        batch = self._open_batches.get(key)
+        if batch is not None and batch.end_ms == end_ms:
+            del self._open_batches[key]
+        self.horizon_ms = max((r.end_ms for r in self.records), default=0.0)
 
     # -- dispatch -------------------------------------------------------------
 
@@ -216,10 +291,34 @@ class RequestRecord:
     arrival_ms: float
     completion_ms: float
     predicted_ms: float
+    #: Lost executions retried on this request's behalf (chaos runs).
+    retries: int = 0
+    #: Shed at admission by graceful degradation (never executed).
+    dropped: bool = False
+    #: Exhausted its retry budget without completing.
+    failed: bool = False
 
     @property
     def latency_ms(self) -> float:
         return self.completion_ms - self.arrival_ms
+
+    @property
+    def served(self) -> bool:
+        """True when the request actually completed its kernel graph."""
+        return not (self.dropped or self.failed)
+
+
+class _NoEligibleDevice(RuntimeError):
+    """No surviving device can run a kernel (internal to the allocator)."""
+
+
+class _RequestAbandoned(RuntimeError):
+    """A request exhausted its retry budget or outlived every device."""
+
+    def __init__(self, kernel_name: str, when_ms: float) -> None:
+        super().__init__(f"kernel {kernel_name!r} abandoned at {when_ms:.1f} ms")
+        self.kernel_name = kernel_name
+        self.when_ms = when_ms
 
 
 class LeafNode:
@@ -274,6 +373,42 @@ class LeafNode:
         self._light_makespan = 0.0
         self._heavy_makespan = 0.0
         self._topo_order = app.graph.kernel_names  # already topological
+        #: Fault-injection hooks; ``None`` keeps the request path on the
+        #: exact healthy-device code (bit-identical to a fault-free run).
+        self._injector = None
+        self._planner = None
+
+    # -- fault hooks ----------------------------------------------------------
+
+    def attach_injector(self, injector) -> None:
+        """Wire a bound :class:`~repro.faults.injector.FaultInjector`."""
+        if self._injector is not None:
+            raise RuntimeError("node already has a fault injector")
+        self._injector = injector
+        self._planner = injector.planner
+
+    def invalidate_plans(self) -> None:
+        """Drop the precomputed operating plans; the next
+        :meth:`maybe_replan` re-runs the latency/energy scheduling
+        passes over the currently schedulable (surviving) device set."""
+        self._light_plan = None
+        self._heavy_plan = None
+        self._plan = {}
+        self._plan_makespan_ms = 0.0
+        self._last_replan_ms = -float("inf")
+
+    def _live_by_platform(self) -> Dict[str, List[AcceleratorInstance]]:
+        """Platform pools restricted to schedulable devices (platforms
+        with no survivors disappear).  Without an injector this is the
+        full inventory, untouched."""
+        if self._injector is None:
+            return self._by_platform
+        out: Dict[str, List[AcceleratorInstance]] = {}
+        for platform, devs in self._by_platform.items():
+            live = [d for d in devs if d.is_schedulable]
+            if live:
+                out[platform] = live
+        return out
 
     # -- planning -------------------------------------------------------------
 
@@ -292,11 +427,16 @@ class LeafNode:
         return fn
 
     def _device_slots(self, now_ms: float) -> List[DeviceSlot]:
+        devices = (
+            self.devices
+            if self._injector is None
+            else [d for d in self.devices if d.is_schedulable]
+        )
         return [
             DeviceSlot(
                 d.device_id, d.spec.name, d.device_type, d.backlog_ms(now_ms)
             )
-            for d in self.devices
+            for d in devices
         ]
 
     def maybe_replan(self, now_ms: float) -> None:
@@ -345,6 +485,8 @@ class LeafNode:
     ) -> Tuple[Dict[str, Dict[str, DesignPoint]], float]:
         """Run the policy's scheduler on an idle node -> light-load plan."""
         slots = self._device_slots(now_ms=float("inf"))
+        if not slots:  # total blackout: every device is quarantined
+            return {}, 0.0
         for slot in slots:
             slot.available_at_ms = 0.0
         if isinstance(self._scheduler, PolyScheduler):
@@ -352,12 +494,13 @@ class LeafNode:
         else:
             schedule = self._scheduler.schedule(self.app.graph, slots)
         platform_of = {s.device_id: s.platform for s in slots}
+        live = self._live_by_platform()
         plan: Dict[str, Dict[str, DesignPoint]] = {}
         for a in schedule:
             chosen_platform = platform_of[a.device_id]
             per_platform = {chosen_platform: a.point}
             if self.system.policy == SchedulingPolicy.POLY:
-                for platform in self._by_platform:
+                for platform in live:
                     if platform == chosen_platform:
                         continue
                     space = self.design_spaces.get((a.kernel_name, platform))
@@ -374,7 +517,14 @@ class LeafNode:
         of Section VI-C: entering high-performance mode at 25% of the
         QoS bound and leaving it below 10% avoids mode flapping.
         """
-        backlog = max(d.backlog_ms(now_ms) for d in self.devices)
+        devices = (
+            self.devices
+            if self._injector is None
+            else [d for d in self.devices if d.is_schedulable]
+        )
+        if not devices:
+            return self._was_loaded
+        backlog = max(d.backlog_ms(now_ms) for d in devices)
         if self._was_loaded:
             # Leave high-performance mode only after the queues have
             # stayed short for several consecutive intervals.
@@ -414,9 +564,10 @@ class LeafNode:
         proportional to its weight on the *critical path* of the kernel
         DAG (parallel branches do not add latency)."""
         lat1 = {}
+        live = self._live_by_platform()
         for kernel in self._topo_order:
             best = float("inf")
-            for platform in self._by_platform:
+            for platform in live:
                 space = self.design_spaces.get((kernel, platform))
                 if space is not None:
                     best = min(best, space.min_latency().latency_ms)
@@ -461,8 +612,11 @@ class LeafNode:
         occupancy; every kernel keeps its min-latency point on every
         platform so the dispatcher can overflow.
         """
-        pools = {p: 0.0 for p in self._by_platform}
-        counts = {p: len(devs) for p, devs in self._by_platform.items()}
+        live = self._live_by_platform()
+        if not live:
+            return {}
+        pools = {p: 0.0 for p in live}
+        counts = {p: len(devs) for p, devs in live.items()}
         options: Dict[str, Dict[str, Tuple[DesignPoint, float]]] = {}
         for name in self._topo_order:
             options[name] = {}
@@ -475,14 +629,14 @@ class LeafNode:
             best_fpga_lat = min(
                 (
                     self.design_spaces[(name, platform)].min_latency().latency_ms
-                    for platform in self._by_platform
-                    if self._by_platform[platform][0].device_type
+                    for platform in live
+                    if live[platform][0].device_type
                     != DeviceType.GPU
                     and (name, platform) in self.design_spaces
                 ),
                 default=None,
             )
-            for platform in self._by_platform:
+            for platform in live:
                 space = self.design_spaces.get((name, platform))
                 if space is None:
                     continue
@@ -507,6 +661,9 @@ class LeafNode:
                 # cost) rather than dropping the kernel.
                 platform, point = fallback
                 options[name][platform] = (point, point.latency_ms)
+        # A kernel whose every implementation lives on a dead platform
+        # cannot be planned; requests needing it fail over or abandon.
+        options = {name: opts for name, opts in options.items() if opts}
         # Place costly kernels first.
         order = sorted(
             options,
@@ -531,6 +688,8 @@ class LeafNode:
             pools[best_platform] += options[name][best_platform][1]
             preferred[name] = best_platform
         for name in self._topo_order:
+            if name not in options:
+                continue
             per_platform = {p: pt for p, (pt, _) in options[name].items()}
             # Order matters downstream: put the preferred platform first.
             pref = preferred[name]
@@ -541,39 +700,149 @@ class LeafNode:
 
     # -- request path -----------------------------------------------------------
 
-    def submit(self, arrival_ms: float) -> RequestRecord:
-        """Admit one request: realize its kernels on devices."""
+    def submit(self, arrival_ms: float, priority: float = 1.0) -> RequestRecord:
+        """Admit one request: realize its kernels on devices.
+
+        ``priority`` in [0, 1] only matters under graceful degradation:
+        when a failure leaves the surviving capacity below the offered
+        load, the failover planner sheds the lowest-priority requests at
+        admission so the rest still meet the QoS bound.
+        """
+        if self._injector is not None:
+            self._injector.advance(arrival_ms)
         self.maybe_replan(arrival_ms)
         self.monitor.record_arrival(arrival_ms)
+        if self._planner is not None and self._planner.should_shed(
+            priority, arrival_ms
+        ):
+            self.monitor.record_drop()
+            self._injector.report.shed += 1
+            return RequestRecord(
+                arrival_ms, arrival_ms, self._plan_makespan_ms, dropped=True
+            )
 
         ends: Dict[str, Tuple[float, str]] = {}  # kernel -> (end, device_id)
         graph = self.app.graph
-        for name in self._topo_order:
-            base_ready = arrival_ms
-            for pred in graph.predecessors(name):
-                base_ready = max(base_ready, ends[pred][0])
-            device, point = self._allocate(name, base_ready)
-            # Charge PCIe for every producer that ran on a different
-            # physical device (data bounces through host DRAM).
-            ready = arrival_ms
-            for pred in graph.predecessors(name):
-                pred_end, pred_dev = ends[pred]
-                if pred_dev != device.device_id:
-                    pred_end += self.pcie.device_to_device_ms(
-                        graph.edge_bytes(pred, name)
+        retries = 0
+        try:
+            for name in self._topo_order:
+                if self._injector is None:
+                    device, _, _, end = self._execute_kernel(
+                        name, ends, arrival_ms
                     )
-                ready = max(ready, pred_end)
-            noise = float(self._rng.lognormal(0.0, NOISE_SIGMA))
-            _, end = device.dispatch(
-                name, point, ready, self._gpu_window(device), noise
+                    ends[name] = (end, device.device_id)
+                else:
+                    end, device_id, used = self._execute_kernel_resilient(
+                        name, ends, arrival_ms
+                    )
+                    retries += used
+                    ends[name] = (end, device_id)
+        except _RequestAbandoned as abandoned:
+            self._injector.report.failed_requests += 1
+            completion = max(abandoned.when_ms, arrival_ms)
+            record = RequestRecord(
+                arrival_ms,
+                completion,
+                self._plan_makespan_ms,
+                retries=retries,
+                failed=True,
             )
-            ends[name] = (end, device.device_id)
+            self.monitor.record_completion(record.latency_ms, None)
+            return record
 
         completion = max(ends[s][0] for s in graph.sinks())
         predicted = self._plan_makespan_ms
-        record = RequestRecord(arrival_ms, completion, predicted)
+        record = RequestRecord(arrival_ms, completion, predicted, retries=retries)
         self.monitor.record_completion(record.latency_ms, predicted or None)
         return record
+
+    def _execute_kernel(
+        self,
+        name: str,
+        ends: Dict[str, Tuple[float, str]],
+        arrival_ms: float,
+        floor_ms: float = 0.0,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> Tuple[AcceleratorInstance, DesignPoint, float, float]:
+        """Allocate and dispatch one kernel; returns (device, point,
+        start, end).  ``floor_ms``/``exclude`` are only exercised by the
+        retry path — at their defaults this is the exact healthy-device
+        execution."""
+        graph = self.app.graph
+        base_ready = arrival_ms
+        for pred in graph.predecessors(name):
+            base_ready = max(base_ready, ends[pred][0])
+        if floor_ms > base_ready:
+            base_ready = floor_ms
+        device, point = self._allocate(name, base_ready, exclude)
+        # Charge PCIe for every producer that ran on a different
+        # physical device (data bounces through host DRAM).
+        ready = arrival_ms
+        for pred in graph.predecessors(name):
+            pred_end, pred_dev = ends[pred]
+            if pred_dev != device.device_id:
+                pred_end += self.pcie.device_to_device_ms(
+                    graph.edge_bytes(pred, name)
+                )
+            ready = max(ready, pred_end)
+        if floor_ms > ready:
+            ready = floor_ms
+        noise = float(self._rng.lognormal(0.0, NOISE_SIGMA))
+        if device.slowdown != 1.0:
+            noise *= device.slowdown
+        start, end = device.dispatch(
+            name, point, ready, self._gpu_window(device), noise
+        )
+        return device, point, start, end
+
+    def _execute_kernel_resilient(
+        self,
+        name: str,
+        ends: Dict[str, Tuple[float, str]],
+        arrival_ms: float,
+    ) -> Tuple[float, str, int]:
+        """Execute one kernel under fault injection.
+
+        Each reserved execution is checked against the injector: a lost
+        one (outage overlap or transient soft error) is aborted, waited
+        out (``timeout_ms`` — the requester's latency-timeout detection)
+        and retried with capped exponential backoff.  A crash excludes
+        the dead device from this request's further attempts, so retries
+        naturally fail over — to another instance, or to another
+        accelerator family via the plan's per-platform alternates.
+        Returns (end, device_id, retries_used).
+        """
+        injector = self._injector
+        policy = injector.policy
+        exclude: Set[str] = set()
+        floor_ms = 0.0
+        first_device: Optional[str] = None
+        attempt = 0
+        while True:
+            try:
+                device, point, start, end = self._execute_kernel(
+                    name, ends, arrival_ms, floor_ms, frozenset(exclude)
+                )
+            except _NoEligibleDevice:
+                raise _RequestAbandoned(
+                    name, max(floor_ms, arrival_ms)
+                ) from None
+            fault = injector.execution_fault(device, start, end)
+            if fault is None:
+                if first_device is not None and device.device_id != first_device:
+                    injector.report.failovers += 1
+                return end, device.device_id, attempt
+            fault_ms, kind = fault
+            device.abort_execution(name, point.index, end, fault_ms)
+            if first_device is None:
+                first_device = device.device_id
+            injector.report.retries += 1
+            if kind == FaultKind.DEVICE_CRASH:
+                exclude.add(device.device_id)
+            if attempt >= policy.max_retries:
+                raise _RequestAbandoned(name, fault_ms + policy.timeout_ms)
+            floor_ms = fault_ms + policy.timeout_ms + policy.backoff_ms(attempt)
+            attempt += 1
 
     def _gpu_window(self, device: AcceleratorInstance) -> float:
         if device.device_type != DeviceType.GPU:
@@ -587,7 +856,10 @@ class LeafNode:
         return self.system.batch_window_ms
 
     def _allocate(
-        self, kernel_name: str, ready_ms: float
+        self,
+        kernel_name: str,
+        ready_ms: float,
+        exclude: FrozenSet[str] = frozenset(),
     ) -> Tuple[AcceleratorInstance, DesignPoint]:
         """Pick the executing (device, implementation) for one kernel.
 
@@ -596,14 +868,39 @@ class LeafNode:
         times the implementation latency, in which case the earliest
         finisher across all planned platforms is taken — Poly's dynamic
         reallocation under load imbalance.
-        """
-        entries = list(self._plan[kernel_name].items())
-        if not entries:
-            raise RuntimeError(f"kernel {kernel_name!r} has no planned platform")
 
-        pref_platform, pref_point = entries[0]
+        Under fault injection, quarantined devices and this request's
+        ``exclude`` set (devices it already lost executions to) drop out
+        of every pool; when the plan's platforms have no survivors at
+        all, the allocator falls back to any surviving platform with a
+        design space for the kernel (min-latency point) — the cross-
+        family failover of Section VI-C's degraded-operation story.
+        """
+        planned = self._plan.get(kernel_name)
+        if planned is None or not planned:
+            if self._injector is None:
+                raise RuntimeError(
+                    f"kernel {kernel_name!r} has no planned platform"
+                )
+            usable = self._failover_candidates(kernel_name, exclude)
+        else:
+            live = self._live_by_platform()
+            usable = [
+                (platform, point, devs)
+                for platform, point in planned.items()
+                for devs in (
+                    [d for d in live.get(platform, ()) if d.device_id not in exclude],
+                )
+                if devs
+            ]
+            if not usable and self._injector is not None:
+                usable = self._failover_candidates(kernel_name, exclude)
+        if not usable:
+            raise _NoEligibleDevice(kernel_name)
+
+        pref_platform, pref_point, pref_devs = usable[0]
         pref_dev = min(
-            self._by_platform[pref_platform],
+            pref_devs,
             key=lambda d: (
                 d.estimate_finish(kernel_name, pref_point, ready_ms),
                 d.device_id,
@@ -612,19 +909,35 @@ class LeafNode:
         pref_finish = pref_dev.estimate_finish(kernel_name, pref_point, ready_ms)
         backlog = pref_finish - ready_ms
 
-        if len(entries) == 1 or backlog <= (
+        if len(usable) == 1 or backlog <= (
             self._OVERFLOW_FACTOR * pref_point.latency_ms
         ):
             return pref_dev, pref_point
 
         best = (pref_finish, pref_dev.device_id, pref_dev, pref_point)
-        for platform, point in entries[1:]:
-            for dev in self._by_platform[platform]:
+        for platform, point, devs in usable[1:]:
+            for dev in devs:
                 finish = dev.estimate_finish(kernel_name, point, ready_ms)
                 cand = (finish, dev.device_id, dev, point)
                 if cand[:2] < best[:2]:
                     best = cand
         return best[2], best[3]
+
+    def _failover_candidates(
+        self, kernel_name: str, exclude: FrozenSet[str]
+    ) -> List[Tuple[str, DesignPoint, List[AcceleratorInstance]]]:
+        """Emergency placement when the plan offers no surviving device:
+        every live platform holding a design space for the kernel, at
+        its minimum-latency Pareto point."""
+        out: List[Tuple[str, DesignPoint, List[AcceleratorInstance]]] = []
+        for platform, devs in self._live_by_platform().items():
+            space = self.design_spaces.get((kernel_name, platform))
+            if space is None:
+                continue
+            eligible = [d for d in devs if d.device_id not in exclude]
+            if eligible:
+                out.append((platform, space.min_latency(), eligible))
+        return out
 
     # -- accounting -------------------------------------------------------------
 
@@ -650,10 +963,15 @@ class LeafNode:
                 amortize = lat8 / (8.0 * lat1)
             lat, _ = self._latency_of_platform(platform, name, point, 1)
             busy[platform] = busy.get(platform, 0.0) + lat * amortize
+        live = self._live_by_platform()
         rps = float("inf")
         for platform, total in busy.items():
-            count = len(self._by_platform[platform])
+            count = len(live.get(platform, ()))
+            if count == 0:
+                continue
             rps = min(rps, count * 1000.0 / total)
+        if rps == float("inf"):
+            return 0.0
         return rps
 
     def _latency_of_platform(self, platform, name, point, batch):

@@ -15,14 +15,17 @@ the asymmetry behind Fig. 9/12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..apps.base import Application
+from ..faults.events import FaultSchedule
+from ..faults.injector import FaultInjector, ResilienceReport
+from ..faults.policy import RetryPolicy
 from ..optim.design_point import KernelDesignSpace
 from .cluster import SchedulingPolicy, SystemConfig
-from .metrics import tail_latency_p99, violation_ratio
+from .metrics import availability, tail_latency_p99, violation_ratio
 from .node import LeafNode, RequestRecord
 
 __all__ = ["SimulationResult", "run_simulation"]
@@ -39,11 +42,15 @@ class SimulationResult:
     power_bins_w: np.ndarray
     bin_ms: float
     warmup_ms: float = 0.0
+    faults: Optional[ResilienceReport] = None
 
     def latencies_ms(self) -> List[float]:
-        """Steady-state request latencies (warm-up excluded)."""
+        """Steady-state request latencies (warm-up excluded; shed and
+        abandoned requests never produce a service latency)."""
         return [
-            r.latency_ms for r in self.requests if r.arrival_ms >= self.warmup_ms
+            r.latency_ms
+            for r in self.requests
+            if r.arrival_ms >= self.warmup_ms and r.served
         ]
 
     @property
@@ -53,7 +60,18 @@ class SimulationResult:
     @property
     def mean_latency_ms(self) -> float:
         lats = self.latencies_ms()
+        if not lats:
+            return float("nan")
         return sum(lats) / len(lats)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests actually served (all of them in
+        a fault-free run; failovers count as served, shed/failed do
+        not)."""
+        return availability(
+            sum(1 for r in self.requests if r.served), len(self.requests)
+        )
 
     def qos_violations(self, bound_ms: float) -> float:
         return violation_ratio(self.latencies_ms(), bound_ms)
@@ -62,10 +80,9 @@ class SimulationResult:
     def avg_power_w(self) -> float:
         """Average node power over the steady-state window."""
         skip = int(self.warmup_ms / self.bin_ms)
-        bins = self.power_bins_w[skip:] if skip < len(self.power_bins_w) else (
-            self.power_bins_w
-        )
-        return float(np.mean(bins))
+        if skip >= len(self.power_bins_w):
+            return float("nan")
+        return float(np.mean(self.power_bins_w[skip:]))
 
     @property
     def energy_j(self) -> float:
@@ -99,8 +116,20 @@ def run_simulation(
     warmup_frac: float = 0.1,
     seed: int = 0,
     replan_interval_ms: float = 250.0,
+    faults: Optional[Union[FaultSchedule, FaultInjector]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    priorities: Optional[Sequence[float]] = None,
 ) -> SimulationResult:
-    """Replay ``arrivals_ms`` (sorted timestamps) on a fresh leaf node."""
+    """Replay ``arrivals_ms`` (sorted timestamps) on a fresh leaf node.
+
+    ``faults`` (a :class:`FaultSchedule`, or a pre-built
+    :class:`FaultInjector` for custom retry/heartbeat settings) turns
+    the run into a chaos experiment; ``priorities`` optionally assigns a
+    per-request priority in [0, 1] (parallel to the *sorted* arrival
+    stream) consulted by graceful-degradation load shedding.  With
+    ``faults=None`` the run is bit-identical to the pre-fault-injection
+    simulator.
+    """
     if not arrivals_ms:
         raise ValueError("empty arrival stream")
     node = LeafNode(
@@ -110,7 +139,25 @@ def run_simulation(
         replan_interval_ms=replan_interval_ms,
         seed=seed,
     )
-    requests = [node.submit(t) for t in sorted(arrivals_ms)]
+    injector: Optional[FaultInjector] = None
+    if faults is not None:
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            injector = FaultInjector(faults, retry_policy=retry_policy)
+        injector.bind(node)
+    elif retry_policy is not None:
+        raise ValueError("retry_policy given without a fault schedule")
+
+    ordered = sorted(arrivals_ms)
+    if priorities is None:
+        requests = [node.submit(t) for t in ordered]
+    else:
+        if len(priorities) != len(ordered):
+            raise ValueError("priorities must match the arrival stream length")
+        requests = [
+            node.submit(t, priority=p) for t, p in zip(ordered, priorities)
+        ]
 
     # Latency statistics run to the last completion; power is accounted
     # over the *offered-load* window only — in overload the post-arrival
@@ -127,6 +174,7 @@ def run_simulation(
         power_bins_w=power,
         bin_ms=bin_ms,
         warmup_ms=arrival_span_ms * warmup_frac,
+        faults=injector.report if injector is not None else None,
     )
 
 

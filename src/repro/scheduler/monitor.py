@@ -9,13 +9,17 @@ end-to-end latencies and power draw.  Its two products are:
   to predicted latency.  The paper reports <6% model error and states
   that Poly "tolerates the wrong prediction by making self-correction
   through the feedback loop"; multiplying predictions by this factor is
-  that correction.
+  that correction;
+* per-device **heartbeats**: live accelerators beat into the monitor on
+  every submission, and :meth:`SystemMonitor.missed_heartbeats` surfaces
+  the devices whose beat has lapsed — the failure-detection signal the
+  fault-injection subsystem's failover planner polls.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import math
 
@@ -44,6 +48,7 @@ class SystemMonitor:
         self._queue_depth = 0
         self._correction = 1.0
         self._power_samples: Deque[float] = deque(maxlen=window)
+        self._heartbeats: Dict[str, float] = {}
 
     # -- event feed (called by the simulator/runtime) ------------------------
 
@@ -69,8 +74,35 @@ class SystemMonitor:
             ratio = min(max(ratio, lo), hi)
             self._correction += self.ewma_alpha * (ratio - self._correction)
 
+    def record_drop(self) -> None:
+        """A request was shed at admission: it leaves the queue without
+        contributing a latency sample (load shedding must not poison
+        the tail-latency window or the correction factor)."""
+        self._queue_depth = max(self._queue_depth - 1, 0)
+
     def record_power(self, watts: float) -> None:
         self._power_samples.append(watts)
+
+    def record_heartbeat(self, device_id: str, now_ms: float) -> None:
+        """A device reported itself alive (monotone per device)."""
+        last = self._heartbeats.get(device_id)
+        if last is None or now_ms > last:
+            self._heartbeats[device_id] = now_ms
+
+    def last_heartbeat_ms(self, device_id: str) -> Optional[float]:
+        return self._heartbeats.get(device_id)
+
+    def missed_heartbeats(self, now_ms: float, timeout_ms: float) -> List[str]:
+        """Devices whose last beat lapsed past ``timeout_ms`` — the
+        missed-heartbeat failure-detection signal (sorted for
+        determinism)."""
+        if timeout_ms <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        return sorted(
+            device_id
+            for device_id, last in self._heartbeats.items()
+            if now_ms - last >= timeout_ms
+        )
 
     # -- the optimizer's view -------------------------------------------------
 
@@ -132,5 +164,6 @@ class SystemMonitor:
         self._latencies.clear()
         self._arrival_times.clear()
         self._power_samples.clear()
+        self._heartbeats.clear()
         self._queue_depth = 0
         self._correction = 1.0

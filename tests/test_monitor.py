@@ -110,3 +110,83 @@ class TestSelfCorrection:
             SystemMonitor(window=0)
         with pytest.raises(ValueError):
             SystemMonitor(ewma_alpha=0.0)
+
+
+class TestCorrectionClamping:
+    def test_ratio_clamped_exactly_at_bounds(self):
+        # alpha=1.0 makes the correction the clamped ratio itself, so
+        # the bound values must be reachable exactly, never exceeded.
+        m = SystemMonitor(ewma_alpha=1.0, correction_bounds=(0.5, 2.0))
+        m.record_completion(300.0, predicted_ms=100.0)  # ratio 3.0 -> 2.0
+        assert m.correction_factor == pytest.approx(2.0)
+        m.record_completion(10.0, predicted_ms=100.0)  # ratio 0.1 -> 0.5
+        assert m.correction_factor == pytest.approx(0.5)
+
+    def test_ratio_at_bound_is_not_clamped(self):
+        m = SystemMonitor(ewma_alpha=1.0, correction_bounds=(0.5, 2.0))
+        m.record_completion(200.0, predicted_ms=100.0)  # ratio exactly 2.0
+        assert m.correction_factor == pytest.approx(2.0)
+        m.record_completion(50.0, predicted_ms=100.0)  # ratio exactly 0.5
+        assert m.correction_factor == pytest.approx(0.5)
+
+    def test_correction_stays_within_bounds_under_any_feed(self):
+        m = SystemMonitor(ewma_alpha=0.7, correction_bounds=(0.8, 1.25))
+        for latency, predicted in ((1e6, 1.0), (1e-6, 1e6), (500.0, 1.0)):
+            m.record_completion(latency, predicted_ms=predicted)
+            assert 0.8 * 0.8 <= m.correction_factor <= 1.25
+
+
+class TestQueueDepthOutOfOrder:
+    def test_out_of_order_completions_balance_arrivals(self):
+        # Completions do not name a request: three arrivals finishing
+        # in any order must leave the queue empty, never negative.
+        m = SystemMonitor()
+        for t in (0.0, 1.0, 2.0):
+            m.record_arrival(t)
+        for latency in (50.0, 5.0, 20.0):  # 2nd request finished first
+            m.record_completion(latency)
+        assert m.queue_depth == 0
+
+    def test_spurious_completion_then_arrival(self):
+        m = SystemMonitor()
+        m.record_completion(10.0)  # no matching arrival: clamps at 0
+        m.record_arrival(0.0)
+        assert m.queue_depth == 1
+
+    def test_drop_leaves_latency_window_untouched(self):
+        m = SystemMonitor()
+        m.record_arrival(0.0)
+        m.record_drop()
+        assert m.queue_depth == 0
+        assert m.tail_latency_ms() is None
+        m.record_drop()  # spurious drop also clamps at zero
+        assert m.queue_depth == 0
+
+
+class TestHeartbeats:
+    def test_missed_heartbeats_after_timeout(self):
+        m = SystemMonitor()
+        m.record_heartbeat("gpu0", 100.0)
+        m.record_heartbeat("fpga0", 100.0)
+        assert m.missed_heartbeats(120.0, timeout_ms=50.0) == []
+        m.record_heartbeat("gpu0", 160.0)
+        assert m.missed_heartbeats(160.0, timeout_ms=50.0) == ["fpga0"]
+
+    def test_heartbeats_are_monotone(self):
+        m = SystemMonitor()
+        m.record_heartbeat("gpu0", 100.0)
+        m.record_heartbeat("gpu0", 40.0)  # stale beat ignored
+        assert m.last_heartbeat_ms("gpu0") == 100.0
+
+    def test_unknown_device_has_no_beat(self):
+        assert SystemMonitor().last_heartbeat_ms("nope") is None
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SystemMonitor().missed_heartbeats(0.0, timeout_ms=0.0)
+
+    def test_reset_clears_heartbeats(self):
+        m = SystemMonitor()
+        m.record_heartbeat("gpu0", 0.0)
+        m.reset()
+        assert m.last_heartbeat_ms("gpu0") is None
