@@ -64,16 +64,18 @@ class Application:
         return out
 
     def explore(
-        self, specs: Sequence, validate: bool = False
+        self, specs: Sequence, validate: bool = False, n_jobs: int = 1
     ) -> Dict[Tuple[str, str], KernelDesignSpace]:
         """Run the offline DSE for this application on the given platforms.
 
         ``validate=True`` lints every kernel and prunes lint-rejected
-        design points before model evaluation (see
-        :func:`repro.optim.dse.explore_kernel`).
+        design points before model evaluation; ``n_jobs`` parallelizes
+        across (kernel, platform) pairs with a bit-identical product
+        (see :func:`repro.optim.dse.explore_application`).
         """
         return explore_application(
-            self.kernels, specs, self.dse_targets(), validate=validate
+            self.kernels, specs, self.dse_targets(), validate=validate,
+            n_jobs=n_jobs,
         )
 
     def table2_row(self) -> List[Tuple[str, str, int, int]]:

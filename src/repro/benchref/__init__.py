@@ -1,0 +1,32 @@
+"""Deterministic performance benchmark harness (``repro bench``).
+
+Times the three hot paths the ROADMAP's "fast as the hardware allows"
+goal cares about — per-app design-space exploration, the two-step
+scheduler, and a fixed simulation run — over repeated trials, and emits
+a schema-stable ``BENCH_<label>.json`` (medians, point counts, model
+cache hit rates).  :mod:`repro.benchref.compare` gates a fresh result
+against a checked-in baseline (``benchmarks/baseline.json``), which is
+what CI's ``perf-smoke`` job runs.
+"""
+
+from .compare import BaselineComparison, compare_to_baseline, load_bench_json
+from .harness import (
+    SCHEMA_VERSION,
+    calibrate,
+    default_output_path,
+    render_bench,
+    run_bench,
+    write_bench_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_bench",
+    "write_bench_json",
+    "default_output_path",
+    "render_bench",
+    "calibrate",
+    "load_bench_json",
+    "compare_to_baseline",
+    "BaselineComparison",
+]

@@ -1,0 +1,220 @@
+"""Benchmark harness: timed DSE / scheduler / simulation trials.
+
+Everything here is deterministic modulo wall-clock noise: the DSE and
+scheduler are pure functions of the app and platform specs, and the
+simulation replays a seeded Poisson stream.  Timings use
+``time.perf_counter`` and are reported per trial plus as medians, so a
+single noisy trial cannot fake a regression.
+
+To make results comparable across machines of different speeds, every
+run also times a fixed pure-Python calibration workload; gates divide
+measured times by the calibration time (see
+:mod:`repro.benchref.compare`), turning "seconds on this box" into
+"multiples of this box's scalar speed".
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import apps as apps_mod
+from .. import runtime
+from ..hardware.model_cache import clear_model_cache, model_cache
+from ..scheduler import DeviceSlot, PolyScheduler
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_bench",
+    "write_bench_json",
+    "default_output_path",
+    "render_bench",
+    "calibrate",
+]
+
+#: Bump only on breaking changes to the BENCH JSON layout; consumers
+#: (the CI gate, trend tooling) key off this.
+SCHEMA_VERSION = 1
+
+#: Iterations of the calibration loop (a fixed integer-sum workload).
+_CALIBRATION_LOOPS = 2_000_000
+
+
+def calibrate() -> float:
+    """Seconds this machine needs for the fixed calibration workload."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(_CALIBRATION_LOOPS):
+        acc += i & 1023
+    elapsed = time.perf_counter() - start
+    # Keep the accumulator alive so the loop cannot be optimized away.
+    assert acc >= 0
+    return elapsed
+
+
+def _timed_trials(fn, trials: int) -> List[float]:
+    out = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - start)
+    return out
+
+
+def _bench_dse(app, platforms, trials: int, n_jobs: int) -> Dict:
+    """Time the full application DSE; trial 0 is cold (cache cleared),
+    later trials run against the warm model cache."""
+    clear_model_cache()
+    trial_s: List[float] = []
+    spaces = None
+    for i in range(trials):
+        start = time.perf_counter()
+        spaces = app.explore(platforms, n_jobs=n_jobs)
+        trial_s.append(time.perf_counter() - start)
+    stats = model_cache.stats()
+    assert spaces is not None
+    points = sum(len(s) for s in spaces.values())
+    pareto_points = sum(len(s.pareto()) for s in spaces.values())
+    return {
+        "trial_s": trial_s,
+        "median_s": statistics.median(trial_s),
+        "cold_s": trial_s[0],
+        "warm_median_s": (
+            statistics.median(trial_s[1:]) if len(trial_s) > 1 else None
+        ),
+        "spaces": len(spaces),
+        "points": points,
+        "pareto_points": pareto_points,
+        "cache": {
+            "hits": int(stats["hits"]),
+            "misses": int(stats["misses"]),
+            "hit_rate": round(stats["hit_rate"], 4),
+        },
+    }
+
+
+def _bench_scheduler(app, system, spaces, trials: int) -> Dict:
+    """Time the two-step schedule of one request on an idle node."""
+    devices = [
+        DeviceSlot(device_id, spec.name, spec.device_type)
+        for device_id, spec in system.device_inventory()
+    ]
+    scheduler = PolyScheduler(spaces, app.qos_ms)
+    n_swaps = 0
+
+    def one() -> None:
+        nonlocal n_swaps
+        _, swaps = scheduler.schedule(app.graph, devices)
+        n_swaps = len(swaps)
+
+    trial_s = _timed_trials(one, trials)
+    return {
+        "trial_s": trial_s,
+        "median_s": statistics.median(trial_s),
+        "swaps": n_swaps,
+    }
+
+
+def _bench_simulation(
+    app, system, spaces, trials: int, rps: float, duration_ms: float, seed: int
+) -> Dict:
+    """Time a fixed seeded Poisson-stream replay."""
+    arrivals = runtime.poisson_arrivals(
+        rps, duration_ms, rng=np.random.default_rng(seed)
+    )
+    p99 = float("nan")
+
+    def one() -> None:
+        nonlocal p99
+        result = runtime.run_simulation(system, app, spaces, arrivals, seed=seed)
+        p99 = result.p99_ms
+
+    trial_s = _timed_trials(one, trials)
+    return {
+        "trial_s": trial_s,
+        "median_s": statistics.median(trial_s),
+        "requests": len(arrivals),
+        "p99_ms": round(p99, 3),
+    }
+
+
+def run_bench(
+    app_names: Optional[Sequence[str]] = None,
+    setting: str = "I",
+    system_name: str = "Heter-Poly",
+    trials: int = 3,
+    n_jobs: int = 1,
+    rps: float = 20.0,
+    duration_ms: float = 2_000.0,
+    seed: int = 0,
+    label: str = "local",
+) -> Dict:
+    """Run the full harness; returns the BENCH document as a dict."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    names = [n.upper() for n in (app_names or sorted(apps_mod.APP_BUILDERS))]
+    unknown = [n for n in names if n not in apps_mod.APP_BUILDERS]
+    if unknown:
+        raise KeyError(
+            f"unknown app(s) {unknown}; choose from {sorted(apps_mod.APP_BUILDERS)}"
+        )
+    system = runtime.setting(setting, system_name)
+    doc: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "setting": setting,
+        "system": system_name,
+        "trials": trials,
+        "n_jobs": n_jobs,
+        "calibration_s": calibrate(),
+        "apps": {},
+    }
+    for name in names:
+        app = apps_mod.build(name)
+        dse = _bench_dse(app, system.platforms, trials, n_jobs)
+        spaces = app.explore(system.platforms)  # warm: cache hits only
+        doc["apps"][name] = {
+            "dse": dse,
+            "scheduler": _bench_scheduler(app, system, spaces, trials),
+            "simulation": _bench_simulation(
+                app, system, spaces, trials, rps, duration_ms, seed
+            ),
+        }
+    return doc
+
+
+def default_output_path(label: str, directory: str = ".") -> Path:
+    """The conventional ``BENCH_<label>.json`` location."""
+    return Path(directory) / f"BENCH_{label}.json"
+
+
+def write_bench_json(doc: Dict, path) -> Path:
+    """Serialize one BENCH document (stable key order, trailing newline)."""
+    out = Path(path)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def render_bench(doc: Dict) -> str:
+    """Human-readable summary of one BENCH document."""
+    lines = [
+        f"bench '{doc['label']}' on {doc['system']}/Setting-{doc['setting']} "
+        f"({doc['trials']} trial(s), n_jobs={doc['n_jobs']}, "
+        f"calibration {doc['calibration_s']*1000:.0f} ms)"
+    ]
+    for name, row in doc["apps"].items():
+        dse, sched, sim = row["dse"], row["scheduler"], row["simulation"]
+        warm = dse["warm_median_s"]
+        warm_txt = f"{warm*1000:8.1f}" if warm is not None else "     n/a"
+        lines.append(
+            f"  {name:4s} dse {dse['cold_s']*1000:8.1f} ms cold /{warm_txt} ms warm "
+            f"({dse['points']} pts, cache {dse['cache']['hit_rate']*100:.0f}% hits)  "
+            f"sched {sched['median_s']*1000:7.2f} ms  "
+            f"sim {sim['median_s']*1000:8.1f} ms (p99 {sim['p99_ms']:.1f} ms)"
+        )
+    return "\n".join(lines)

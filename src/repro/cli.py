@@ -34,6 +34,15 @@ Commands
     MTBF/MTTR schedule) and report availability, tail latency, QoS
     violations and failover/recovery statistics.  The schedule and
     retry policy are linted (RT004/RT005) before the run.
+
+``bench [--app NAME] [--trials 3] [--n-jobs 1] [--label L]
+        [--check BASELINE] [--max-ratio 2.0]``
+    Deterministic performance benchmark: time per-app DSE (cold and
+    cache-warm), the two-step scheduler and a fixed seeded simulation
+    over repeated trials; write ``BENCH_<label>.json``.  ``--check``
+    gates the run against a baseline document (CI's ``perf-smoke``
+    job) and exits nonzero on a >``--max-ratio`` normalized
+    regression.
 """
 
 from __future__ import annotations
@@ -72,7 +81,7 @@ def _cmd_figure(args) -> int:
 def _cmd_dse(args) -> int:
     app = apps_mod.build(args.app)
     system = runtime.setting(args.setting, "Heter-Poly")
-    spaces = app.explore(system.platforms)
+    spaces = app.explore(system.platforms, n_jobs=args.n_jobs)
     print(f"{app} on Setting-{args.setting}")
     for kernel in app.kernels:
         for spec in system.platforms:
@@ -309,6 +318,47 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .benchref import (
+        compare_to_baseline,
+        default_output_path,
+        load_bench_json,
+        render_bench,
+        run_bench,
+        write_bench_json,
+    )
+
+    try:
+        doc = run_bench(
+            app_names=args.app,
+            setting=args.setting,
+            system_name=args.system,
+            trials=args.trials,
+            n_jobs=args.n_jobs,
+            rps=args.rps,
+            duration_ms=args.ms,
+            seed=args.seed,
+            label=args.label,
+        )
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    out = args.out or default_output_path(args.label)
+    write_bench_json(doc, out)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_bench(doc))
+        print(f"wrote {out}")
+    if args.check:
+        baseline = load_bench_json(args.check)
+        comparison = compare_to_baseline(doc, baseline, max_ratio=args.max_ratio)
+        print(comparison.render())
+        if not comparison.ok:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Poly (HPCA 2019) reproduction toolkit"
@@ -322,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dse", help="offline design-space exploration")
     p.add_argument("app")
     p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="DSE worker processes (-1 = all CPUs); any count is bit-identical",
+    )
     p.set_defaults(fn=_cmd_dse)
 
     p = sub.add_parser("schedule", help="two-step schedule of one request")
@@ -413,6 +469,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "bench", help="deterministic DSE/scheduler/simulation benchmark"
+    )
+    p.add_argument(
+        "--app",
+        action="append",
+        help="benchmark short name (repeatable); all six when omitted",
+    )
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--system",
+        default="Heter-Poly",
+        choices=("Homo-GPU", "Homo-FPGA", "Heter-Poly"),
+    )
+    p.add_argument("--trials", type=int, default=3, help="timed trials per stage")
+    p.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="DSE worker processes (-1 = all CPUs)",
+    )
+    p.add_argument("--rps", type=float, default=20.0, help="simulation load")
+    p.add_argument(
+        "--ms", type=float, default=2_000.0, help="simulated duration per trial"
+    )
+    p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
+    p.add_argument(
+        "--out", help="output path (default ./BENCH_<label>.json)"
+    )
+    p.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="gate against a baseline BENCH json; exit 1 on regression",
+    )
+    p.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when normalized DSE median exceeds baseline by this factor",
+    )
+    p.add_argument("--json", action="store_true", help="print the full document")
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

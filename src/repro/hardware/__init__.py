@@ -11,6 +11,15 @@ from .config import ImplConfig
 from .dvfs import DVFSPolicy, OperatingPoint, PowerState
 from .fpga_model import FPGAModel, FPGAPerformanceEstimate, ResourceUsage
 from .gpu_model import GPUModel, GPUPerformanceEstimate
+from .model_cache import (
+    CachedEstimate,
+    ModelEvalCache,
+    cache_stats,
+    clear_model_cache,
+    evaluate_cached,
+    kernel_signature,
+    model_cache,
+)
 from .pcie import PCIeLink
 from .specs import (
     AMD_W9100,
@@ -48,6 +57,13 @@ __all__ = [
     "DVFSPolicy",
     "OperatingPoint",
     "PowerState",
+    "CachedEstimate",
+    "ModelEvalCache",
+    "model_cache",
+    "evaluate_cached",
+    "cache_stats",
+    "clear_model_cache",
+    "kernel_signature",
 ]
 
 

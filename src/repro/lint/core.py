@@ -127,6 +127,9 @@ class LintContext:
     devices: Tuple = ()
     #: Application short name, used as a location prefix.
     app_name: str = ""
+    #: Per-(kernel, device) cap on enumerated configs before pruning
+    #: (OPT004); ``None`` uses the rule's default budget.
+    config_budget: Optional[int] = None
 
     def prefix(self, location: str) -> str:
         return f"{self.app_name}/{location}" if self.app_name else location

@@ -16,9 +16,15 @@ from ..hardware.config import ImplConfig
 from ..hardware.fpga_model import FPGAModel
 from ..hardware.specs import DeviceType
 from ..optim.knobs import applicable_knobs
+from ..patterns.ppg import Kernel
 from .core import DesignCheck, Diagnostic, LintContext, Severity, register_rule
 
 __all__: List[str] = []
+
+#: Default OPT004 cap on a kernel's enumerated (pre-pruning) configs
+#: per device.  The bundled Table-II kernels top out at 1536; anything
+#: past this is a knob-product explosion the DSE will pay for linearly.
+DEFAULT_CONFIG_BUDGET = 2048
 
 #: Knobs that are platform features rather than Table-I code
 #: transformations — always legal regardless of pattern mix.
@@ -122,3 +128,43 @@ def check_work_group_size(check: DesignCheck, ctx: LintContext) -> Iterator[Diag
             ),
             hint=f"cap work_group_size at {max_par}",
         )
+
+
+@register_rule(
+    "OPT004",
+    Severity.WARNING,
+    (Kernel,),
+    "enumerated design space exceeds the pre-pruning config budget",
+)
+def check_config_budget(kernel: Kernel, ctx: LintContext) -> Iterator[Diagnostic]:
+    """Knob products explode combinatorially (each candidate list
+    multiplies the space); a kernel whose enumerated space blows past
+    the budget makes every DSE run pay model-evaluation time linearly in
+    the excess.  Counting via the local plan's candidate lists costs
+    nothing — the space itself is never materialized."""
+    from ..optim.global_opt import GlobalOptimizer
+    from ..optim.local_opt import LocalOptimizer
+
+    specs = (ctx.spec,) if ctx.spec is not None else tuple(ctx.specs)
+    budget = ctx.config_budget if ctx.config_budget is not None else DEFAULT_CONFIG_BUDGET
+    for spec in specs:
+        if spec is None:
+            continue
+        local = LocalOptimizer(spec.device_type).plan(kernel)
+        fused_variants = 2 if GlobalOptimizer(spec).plan(kernel).worthwhile else 1
+        count = local.space_size * fused_variants
+        if count > budget:
+            yield Diagnostic(
+                rule="OPT004",
+                severity=Severity.WARNING,
+                location=ctx.prefix(f"{kernel.name}@{spec.name}"),
+                message=(
+                    f"kernel enumerates {count} configs on "
+                    f"{spec.device_type.value} (budget {budget}): "
+                    "knob-product explosion before pruning"
+                ),
+                hint=(
+                    "narrow per-knob candidate lists or split the kernel; "
+                    "raise LintContext.config_budget if the size is intended"
+                ),
+            )

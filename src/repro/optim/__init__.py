@@ -7,11 +7,11 @@ frontier extraction.
 """
 
 from .design_point import DesignPoint, KernelDesignSpace
-from .dse import enumerate_configs, explore_application, explore_kernel
+from .dse import enumerate_configs, explore_application, explore_kernel, resolve_n_jobs
 from .global_opt import FusionDecision, GlobalOptimizer, GlobalPlan
 from .knobs import applicable_knobs, knob_candidates
 from .local_opt import LocalOptimizer, LocalPlan
-from .pareto import dominated_fraction, hypervolume_2d, pareto_front
+from .pareto import ParetoFrontier, dominated_fraction, hypervolume_2d, pareto_front
 
 __all__ = [
     "DesignPoint",
@@ -19,6 +19,7 @@ __all__ = [
     "explore_kernel",
     "explore_application",
     "enumerate_configs",
+    "resolve_n_jobs",
     "LocalOptimizer",
     "LocalPlan",
     "GlobalOptimizer",
@@ -26,6 +27,7 @@ __all__ = [
     "FusionDecision",
     "knob_candidates",
     "applicable_knobs",
+    "ParetoFrontier",
     "pareto_front",
     "dominated_fraction",
     "hypervolume_2d",

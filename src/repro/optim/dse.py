@@ -7,14 +7,29 @@ enumerate the pruned local space crossed with the global options,
 evaluate every combination with the GPU/FPGA analytical model, drop
 infeasible FPGA points, and optionally subsample to a target size (the
 per-kernel design counts of Table II).
+
+Two mechanisms keep the sweep fast at application scale:
+
+* model evaluations are memoized behind the process-wide
+  :mod:`repro.hardware.model_cache`, so re-exploring an unchanged
+  kernel (repeated experiments, figure regeneration, the bench
+  harness's warm trials) costs dictionary lookups instead of model math;
+* ``explore_application(n_jobs=N)`` fans the independent
+  (kernel, platform) explorations out over a ``ProcessPoolExecutor``.
+  Each pair's exploration is self-contained and deterministic, so the
+  parallel product is bit-identical to the ``n_jobs=1`` serial path;
+  workers ship their cache deltas back so the parent stays warm.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hardware import ImplConfig, model_for
+from ..hardware import ImplConfig
+from ..hardware.model_cache import evaluate_cached, model_cache
 from ..hardware.specs import DeviceType
 from ..patterns.ppg import Kernel
 from .design_point import DesignPoint, KernelDesignSpace
@@ -78,13 +93,16 @@ def _evaluate(
     kernel: Kernel, spec, configs: Sequence[ImplConfig]
 ) -> List[DesignPoint]:
     """Run the analytical model over the candidates, dropping infeasible
-    FPGA points (designs that do not place on the part)."""
-    model = model_for(spec)
+    FPGA points (designs that do not place on the part).
+
+    Evaluations go through the shared model cache: identical
+    (kernel, platform, config) triples are computed once per process.
+    """
     points: List[DesignPoint] = []
     for config in configs:
-        if spec.device_type == DeviceType.FPGA and not model.feasible(kernel, config):
+        est = evaluate_cached(kernel, spec, config)
+        if not est.feasible:
             continue
-        est = model.estimate(kernel, config)
         points.append(
             DesignPoint(
                 kernel_name=kernel.name,
@@ -98,6 +116,18 @@ def _evaluate(
     return points
 
 
+def _point_order_key(point: DesignPoint) -> Tuple:
+    """Total order on design points: objectives, then the full knob tuple.
+
+    (latency, power) alone is not a total order — distinct configs can
+    model identically — so sorting by it leaves tie order at the mercy
+    of the input ordering.  Appending the config fields makes subsample
+    selection a pure function of the point *set*, independent of
+    enumeration or worker completion order.
+    """
+    return (point.latency_ms, point.power_w) + dataclasses.astuple(point.config)
+
+
 def _subsample(points: List[DesignPoint], target: int) -> List[DesignPoint]:
     """Deterministically thin a design space to ``target`` points.
 
@@ -107,7 +137,7 @@ def _subsample(points: List[DesignPoint], target: int) -> List[DesignPoint]:
     """
     if len(points) <= target:
         return points
-    ordered = sorted(points, key=lambda p: (p.latency_ms, p.power_w))
+    ordered = sorted(points, key=_point_order_key)
     step = (len(ordered) - 1) / (target - 1)
     picked = [ordered[round(i * step)] for i in range(target)]
     # Rounding can collide; dedupe while preserving order.
@@ -161,11 +191,41 @@ def explore_kernel(
     )
 
 
+def _explore_task(task: Tuple[Kernel, object, Optional[int], bool]) -> Tuple:
+    """Worker entry: one (kernel, platform) exploration (picklable).
+
+    Returns the space plus the model-cache delta (new entries, hit/miss
+    counts) this exploration produced: a forked worker inherits the
+    parent's cache copy-on-write, but its additions die with the
+    process unless the parent writes them back.
+    """
+    kernel, spec, target, validate = task
+    known = model_cache.known_keys()
+    hits, misses = model_cache.hits, model_cache.misses
+    space = explore_kernel(kernel, spec, target_points=target, validate=validate)
+    return (
+        space,
+        model_cache.delta(known),
+        model_cache.hits - hits,
+        model_cache.misses - misses,
+    )
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize a worker count: ``None``/``-1`` mean all CPUs."""
+    if n_jobs is None or n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
 def explore_application(
     kernels: Sequence[Kernel],
     specs: Sequence,
     targets: Optional[Dict[Tuple[str, DeviceType], int]] = None,
     validate: bool = False,
+    n_jobs: int = 1,
 ) -> Dict[Tuple[str, str], KernelDesignSpace]:
     """Explore every kernel of an application on every platform.
 
@@ -173,14 +233,36 @@ def explore_application(
     complete compile-time product the runtime scheduler loads.
     ``validate`` gates each per-kernel exploration through the lint
     rules (see :func:`explore_kernel`).
+
+    ``n_jobs`` fans the independent (kernel, platform) explorations out
+    over a process pool (``-1`` = all CPUs).  Each exploration is
+    deterministic and self-contained, so any worker count produces a
+    product bit-identical to the serial ``n_jobs=1`` path; result
+    ordering is fixed by the (kernels x specs) enumeration, never by
+    worker completion order.
     """
-    spaces: Dict[Tuple[str, str], KernelDesignSpace] = {}
+    tasks: List[Tuple[Kernel, object, Optional[int], bool]] = []
+    keys: List[Tuple[str, str]] = []
     for kernel in kernels:
         for spec in specs:
             target = None
             if targets is not None:
                 target = targets.get((kernel.name, spec.device_type))
-            spaces[(kernel.name, spec.name)] = explore_kernel(
-                kernel, spec, target_points=target, validate=validate
-            )
-    return spaces
+            tasks.append((kernel, spec, target, validate))
+            keys.append((kernel.name, spec.name))
+
+    workers = min(resolve_n_jobs(n_jobs), max(len(tasks), 1))
+    results: List[KernelDesignSpace] = []
+    if workers <= 1 or len(tasks) <= 1:
+        results = [
+            explore_kernel(kernel, spec, target_points=target, validate=val)
+            for kernel, spec, target, val in tasks
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for space, entries, hits, misses in pool.map(_explore_task, tasks):
+                model_cache.merge(entries, hits, misses)
+                results.append(space)
+    return dict(zip(keys, results))

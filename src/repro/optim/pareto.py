@@ -4,15 +4,89 @@ The DSE keeps only points interesting for the runtime trade-off between
 latency, throughput and power (Section IV-C).  These helpers are shared
 by the design-space container, the scheduler and the experiment
 harness.
+
+The frontier is maintained *incrementally*: :class:`ParetoFrontier`
+holds the current non-dominated set sorted by the first objective and
+inserts each new point with a binary search plus a contiguous prune of
+the points it dominates.  For the DSE's streaming use (thousands of
+model evaluations per kernel, small surviving frontier) this replaces
+the old sort-the-world pass with O(log m) work per point.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from bisect import bisect_left, bisect_right
+from typing import Callable, Generic, Iterator, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["pareto_front", "dominated_fraction", "hypervolume_2d"]
+__all__ = [
+    "ParetoFrontier",
+    "pareto_front",
+    "dominated_fraction",
+    "hypervolume_2d",
+]
+
+
+class ParetoFrontier(Generic[T]):
+    """Incrementally maintained 2-D minimization Pareto frontier.
+
+    Invariants: the retained points are sorted by strictly increasing
+    ``f1`` and, consequently, strictly decreasing ``f2`` — every point
+    is non-dominated.  ``insert`` rejects weakly dominated candidates
+    (so the *first* of two identical points wins) and evicts any
+    retained points the candidate weakly dominates.
+    """
+
+    def __init__(self) -> None:
+        self._f1: List[float] = []
+        self._f2: List[float] = []
+        self._items: List[T] = []
+
+    def insert(self, item: T, f1: float, f2: float) -> bool:
+        """Offer one point; returns True iff it joined the frontier."""
+        # The best (lowest) f2 among retained points with f1' <= f1 sits
+        # at the largest such f1'; if it is <= f2 the candidate is
+        # (weakly) dominated.
+        last_leq = bisect_right(self._f1, f1) - 1
+        if last_leq >= 0 and self._f2[last_leq] <= f2:
+            return False
+        # Evict the contiguous run of points the candidate weakly
+        # dominates: those with f1' >= f1 and f2' >= f2.
+        lo = bisect_left(self._f1, f1)
+        hi = lo
+        while hi < len(self._f1) and self._f2[hi] >= f2:
+            hi += 1
+        if hi > lo:
+            del self._f1[lo:hi]
+            del self._f2[lo:hi]
+            del self._items[lo:hi]
+        self._f1.insert(lo, f1)
+        self._f2.insert(lo, f2)
+        self._items.insert(lo, item)
+        return True
+
+    def dominated(self, f1: float, f2: float) -> bool:
+        """Would a point with these objectives be rejected?"""
+        last_leq = bisect_right(self._f1, f1) - 1
+        return last_leq >= 0 and self._f2[last_leq] <= f2
+
+    def items(self) -> List[T]:
+        """Frontier members sorted by ascending ``f1``."""
+        return list(self._items)
+
+    def objectives(self) -> List[Tuple[float, float]]:
+        """``(f1, f2)`` pairs of the frontier, ascending in ``f1``."""
+        return list(zip(self._f1, self._f2))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"<ParetoFrontier: {len(self)} points>"
 
 
 def pareto_front(
@@ -25,17 +99,11 @@ def pareto_front(
     Returns the frontier sorted by ascending ``f1``.  Duplicate points
     keep their first occurrence.
     """
-    decorated = sorted(
-        ((objectives(it), i, it) for i, it in enumerate(items)),
-        key=lambda t: (t[0][0], t[0][1], t[1]),
-    )
-    front: List[T] = []
-    best_f2 = float("inf")
-    for (f1, f2), _, item in decorated:
-        if f2 < best_f2:
-            front.append(item)
-            best_f2 = f2
-    return front
+    frontier: ParetoFrontier[T] = ParetoFrontier()
+    for item in items:
+        f1, f2 = objectives(item)
+        frontier.insert(item, f1, f2)
+    return frontier.items()
 
 
 def dominated_fraction(

@@ -1,0 +1,205 @@
+"""Bench harness: schema stability, determinism, and the baseline gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchref import (
+    SCHEMA_VERSION,
+    calibrate,
+    compare_to_baseline,
+    default_output_path,
+    load_bench_json,
+    render_bench,
+    run_bench,
+    write_bench_json,
+)
+from repro.cli import main as cli_main
+
+#: The stable BENCH layout; CI tooling and the trend record key off it.
+TOP_KEYS = {
+    "schema_version", "label", "setting", "system", "trials", "n_jobs",
+    "calibration_s", "apps",
+}
+DSE_KEYS = {
+    "trial_s", "median_s", "cold_s", "warm_median_s", "spaces", "points",
+    "pareto_points", "cache",
+}
+CACHE_KEYS = {"hits", "misses", "hit_rate"}
+SCHED_KEYS = {"trial_s", "median_s", "swaps"}
+SIM_KEYS = {"trial_s", "median_s", "requests", "p99_ms"}
+
+
+@pytest.fixture(scope="module")
+def mf_doc():
+    """One real harness run on the cheapest app, shared by the module."""
+    return run_bench(app_names=["MF"], trials=2, label="test")
+
+
+class TestSchema:
+    def test_top_level_keys(self, mf_doc):
+        assert set(mf_doc) == TOP_KEYS
+        assert mf_doc["schema_version"] == SCHEMA_VERSION
+        assert mf_doc["calibration_s"] > 0
+
+    def test_app_sections(self, mf_doc):
+        row = mf_doc["apps"]["MF"]
+        assert set(row) == {"dse", "scheduler", "simulation"}
+        assert set(row["dse"]) == DSE_KEYS
+        assert set(row["dse"]["cache"]) == CACHE_KEYS
+        assert set(row["scheduler"]) == SCHED_KEYS
+        assert set(row["simulation"]) == SIM_KEYS
+
+    def test_trial_counts_and_medians(self, mf_doc):
+        row = mf_doc["apps"]["MF"]
+        for section in ("dse", "scheduler", "simulation"):
+            assert len(row[section]["trial_s"]) == 2
+            assert row[section]["median_s"] > 0
+
+    def test_warm_trials_hit_cache(self, mf_doc):
+        dse = mf_doc["apps"]["MF"]["dse"]
+        assert dse["cache"]["hit_rate"] > 0.4
+        assert dse["warm_median_s"] < dse["cold_s"]
+
+    def test_json_round_trip(self, mf_doc, tmp_path):
+        path = write_bench_json(mf_doc, tmp_path / "BENCH_test.json")
+        assert load_bench_json(path) == mf_doc
+
+    def test_render_mentions_every_app(self, mf_doc):
+        text = render_bench(mf_doc)
+        assert "MF" in text and "cache" in text
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            run_bench(app_names=["NOPE"], trials=1)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_bench(app_names=["MF"], trials=0)
+
+    def test_default_output_path(self):
+        assert default_output_path("ci").name == "BENCH_ci.json"
+
+
+class TestLoadValidation:
+    def test_rejects_wrong_schema_version(self, mf_doc, tmp_path):
+        doc = copy.deepcopy(mf_doc)
+        doc["schema_version"] = 99
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_bench_json(path)
+
+    def test_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="missing"):
+            load_bench_json(path)
+
+    def test_rejects_bad_calibration(self, mf_doc, tmp_path):
+        doc = copy.deepcopy(mf_doc)
+        doc["calibration_s"] = 0.0
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="calibration"):
+            load_bench_json(path)
+
+
+class TestGate:
+    def test_identical_docs_pass(self, mf_doc):
+        comparison = compare_to_baseline(mf_doc, mf_doc, max_ratio=2.0)
+        assert comparison.ok
+        assert all(r == pytest.approx(1.0) for r in comparison.ratios.values())
+
+    def test_regression_detected(self, mf_doc):
+        slow = copy.deepcopy(mf_doc)
+        dse = slow["apps"]["MF"]["dse"]
+        dse["median_s"] *= 3.0
+        dse["cold_s"] *= 3.0
+        comparison = compare_to_baseline(slow, mf_doc, max_ratio=2.0)
+        assert not comparison.ok
+        assert any("MF/dse" in r for r in comparison.regressions)
+        assert "REGRESSION" in comparison.render()
+
+    def test_calibration_normalizes_machine_speed(self, mf_doc):
+        """A uniformly 3x-slower machine (3x calibration, 3x medians)
+        must NOT trip the gate."""
+        slow_machine = copy.deepcopy(mf_doc)
+        slow_machine["calibration_s"] *= 3.0
+        dse = slow_machine["apps"]["MF"]["dse"]
+        dse["median_s"] *= 3.0
+        dse["cold_s"] *= 3.0
+        comparison = compare_to_baseline(slow_machine, mf_doc, max_ratio=2.0)
+        assert comparison.ok
+
+    def test_disjoint_apps_skipped_not_failed(self, mf_doc):
+        other = copy.deepcopy(mf_doc)
+        other["apps"] = {"ASR": other["apps"].pop("MF")}
+        comparison = compare_to_baseline(other, mf_doc, max_ratio=2.0)
+        assert comparison.ok
+        assert set(comparison.skipped) == {"ASR", "MF"}
+
+    def test_bad_max_ratio_rejected(self, mf_doc):
+        with pytest.raises(ValueError, match="max_ratio"):
+            compare_to_baseline(mf_doc, mf_doc, max_ratio=0.0)
+
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+
+
+class TestCheckedInBaseline:
+    def test_baseline_is_valid_bench_doc(self):
+        doc = load_bench_json(BASELINE_PATH)
+        assert doc["label"] == "baseline"
+        for app, row in doc["apps"].items():
+            assert set(row["dse"]) == DSE_KEYS, app
+
+    def test_baseline_covers_ci_apps(self):
+        """perf-smoke benches ASR and WT; both must be gateable."""
+        doc = load_bench_json(BASELINE_PATH)
+        assert {"ASR", "WT"} <= set(doc["apps"])
+
+
+class TestCLI:
+    def test_bench_command_writes_and_gates(self, tmp_path, mf_doc):
+        baseline = tmp_path / "base.json"
+        write_bench_json(mf_doc, baseline)
+        out = tmp_path / "BENCH_cli.json"
+        # Same trial count as the baseline doc: a 1-trial median is a
+        # cold time and would not be comparable to a 2-trial median.
+        rc = cli_main([
+            "bench", "--app", "mf", "--trials", "2", "--label", "cli",
+            "--out", str(out), "--check", str(baseline),
+        ])
+        assert rc == 0
+        doc = load_bench_json(out)
+        assert doc["label"] == "cli" and "MF" in doc["apps"]
+
+    def test_bench_command_fails_on_regression(self, tmp_path, mf_doc):
+        fast = copy.deepcopy(mf_doc)
+        dse = fast["apps"]["MF"]["dse"]
+        dse["median_s"] /= 100.0
+        dse["cold_s"] /= 100.0
+        baseline = tmp_path / "base.json"
+        write_bench_json(fast, baseline)
+        rc = cli_main([
+            "bench", "--app", "mf", "--trials", "1", "--label", "cli",
+            "--out", str(tmp_path / "BENCH_cli.json"), "--check", str(baseline),
+        ])
+        assert rc == 1
+
+    def test_bench_command_unknown_app(self, tmp_path):
+        rc = cli_main([
+            "bench", "--app", "nope", "--trials", "1",
+            "--out", str(tmp_path / "b.json"),
+        ])
+        assert rc == 2
+
+
+def test_calibration_is_positive_and_stable():
+    a, b = calibrate(), calibrate()
+    assert a > 0 and b > 0
+    # Same machine, same workload: within an order of magnitude.
+    assert 0.1 < a / b < 10.0

@@ -1,0 +1,162 @@
+"""Parallel DSE parity, subsample determinism, incremental Pareto."""
+
+import random
+
+import pytest
+
+from conftest import small_kernel
+from repro import apps, runtime
+from repro.hardware import AMD_W9100
+from repro.optim import ParetoFrontier, explore_kernel, pareto_front
+from repro.optim.dse import _point_order_key, _subsample, resolve_n_jobs
+
+
+def _point_tuple(p):
+    return (p.kernel_name, p.platform, p.config, p.latency_ms, p.power_w, p.index)
+
+
+def _space_tuples(space):
+    return [_point_tuple(p) for p in space]
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("name", sorted(apps.APP_BUILDERS))
+    def test_parallel_matches_serial(self, name):
+        """n_jobs=4 must reproduce the serial Pareto fronts (and full
+        spaces) point-for-point on every Setting-I app."""
+        app = apps.build(name)
+        platforms = runtime.setting("I", "Heter-Poly").platforms
+        serial = app.explore(platforms, n_jobs=1)
+        parallel = app.explore(platforms, n_jobs=4)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert _space_tuples(serial[key]) == _space_tuples(parallel[key])
+            assert [
+                _point_tuple(p) for p in serial[key].pareto()
+            ] == [_point_tuple(p) for p in parallel[key].pareto()]
+
+    def test_n_jobs_all_cpus_sentinel(self):
+        import os
+
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+        assert resolve_n_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_n_jobs(3) == 3
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+    def test_workers_write_cache_back_to_parent(self):
+        """Worker model evaluations must land in the parent's cache, so
+        a second parallel exploration is pure lookups (bench warm
+        trials depend on this at any n_jobs)."""
+        from repro.hardware import clear_model_cache, model_cache
+
+        clear_model_cache()
+        try:
+            app = apps.build("MF")
+            platforms = runtime.setting("I", "Heter-Poly").platforms
+            app.explore(platforms, n_jobs=2)
+            assert len(model_cache) > 0 and model_cache.misses > 0
+            misses_after_cold = model_cache.misses
+            app.explore(platforms, n_jobs=2)
+            assert model_cache.misses == misses_after_cold
+            assert model_cache.hits >= misses_after_cold
+        finally:
+            clear_model_cache()
+
+    def test_validate_survives_workers(self):
+        """The lint-gated exploration path works inside worker processes."""
+        app = apps.build("MF")
+        platforms = runtime.setting("I", "Heter-Poly").platforms
+        serial = app.explore(platforms, validate=True, n_jobs=1)
+        parallel = app.explore(platforms, validate=True, n_jobs=2)
+        for key in serial:
+            assert serial[key].pruned_invalid == parallel[key].pruned_invalid
+            assert _space_tuples(serial[key]) == _space_tuples(parallel[key])
+
+
+class TestSubsampleDeterminism:
+    def _points(self):
+        kernel = small_kernel("sub", elements=1 << 14, ops=16.0)
+        return list(explore_kernel(kernel, AMD_W9100).points)
+
+    def test_input_order_invariant(self):
+        """Subsampling is a function of the point *set*: shuffling the
+        input (as different worker interleavings could) changes nothing."""
+        points = self._points()
+        baseline = [_point_tuple(p) for p in _subsample(list(points), 16)]
+        for seed in range(5):
+            shuffled = list(points)
+            random.Random(seed).shuffle(shuffled)
+            assert [_point_tuple(p) for p in _subsample(shuffled, 16)] == baseline
+
+    def test_order_key_is_total(self):
+        """No two distinct configs may compare equal under the key."""
+        points = self._points()
+        keys = [_point_order_key(p) for p in points]
+        assert len(set(keys)) == len(keys)
+
+    def test_small_spaces_untouched(self):
+        points = self._points()[:5]
+        assert _subsample(points, 10) is points
+
+
+class TestParetoFrontier:
+    def test_incremental_matches_batch(self):
+        rng = random.Random(7)
+        items = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        frontier = ParetoFrontier()
+        for it in items:
+            frontier.insert(it, it[0], it[1])
+        assert frontier.items() == pareto_front(items, lambda t: t)
+
+    def test_matches_brute_force_dominance(self):
+        rng = random.Random(11)
+        items = [
+            (rng.randrange(20) * 1.0, rng.randrange(20) * 1.0) for _ in range(200)
+        ]
+        front = pareto_front(items, lambda t: t)
+        # No frontier member is strictly dominated by any item.
+        for a in front:
+            assert not any(
+                b[0] <= a[0] and b[1] <= a[1] and b != a for b in front
+            )
+        # Every excluded item is weakly dominated by some frontier member.
+        for it in items:
+            if it not in front:
+                assert any(f[0] <= it[0] and f[1] <= it[1] for f in front)
+
+    def test_duplicate_keeps_first(self):
+        a, b = ("first", (1.0, 1.0)), ("second", (1.0, 1.0))
+        frontier = ParetoFrontier()
+        assert frontier.insert(a, 1.0, 1.0)
+        assert not frontier.insert(b, 1.0, 1.0)
+        assert frontier.items() == [a]
+
+    def test_insert_evicts_dominated_run(self):
+        frontier = ParetoFrontier()
+        for f1, f2 in [(1.0, 9.0), (2.0, 8.0), (3.0, 7.0), (4.0, 1.0)]:
+            frontier.insert((f1, f2), f1, f2)
+        assert len(frontier) == 4
+        # (1.5, 0.5) dominates everything with f1 >= 1.5.
+        assert frontier.insert((1.5, 0.5), 1.5, 0.5)
+        assert frontier.objectives() == [(1.0, 9.0), (1.5, 0.5)]
+
+    def test_dominated_probe(self):
+        frontier = ParetoFrontier()
+        frontier.insert("a", 2.0, 2.0)
+        assert frontier.dominated(3.0, 3.0)
+        assert frontier.dominated(2.0, 2.0)
+        assert not frontier.dominated(1.0, 3.0)
+        assert not frontier.dominated(3.0, 1.0)
+
+    def test_sorted_invariants(self):
+        rng = random.Random(3)
+        frontier = ParetoFrontier()
+        for _ in range(300):
+            f1, f2 = rng.uniform(0, 10), rng.uniform(0, 10)
+            frontier.insert((f1, f2), f1, f2)
+        objs = frontier.objectives()
+        f1s = [o[0] for o in objs]
+        f2s = [o[1] for o in objs]
+        assert f1s == sorted(f1s) and len(set(f1s)) == len(f1s)
+        assert f2s == sorted(f2s, reverse=True) and len(set(f2s)) == len(f2s)

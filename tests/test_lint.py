@@ -37,7 +37,8 @@ from repro.scheduler import AdmissionError, DeviceSlot, KernelGraph, PolySchedul
 
 EXPECTED_RULES = {
     "PPG001", "PPG002", "PPG003", "PPG004", "PPG005", "PPG006", "PPG007",
-    "PPG008", "OPT001", "OPT002", "OPT003", "RT001", "RT002", "RT003",
+    "PPG008", "OPT001", "OPT002", "OPT003", "OPT004", "RT001", "RT002",
+    "RT003",
 }
 
 
@@ -311,6 +312,41 @@ class TestOptimRules:
     def test_opt003_sane_group_clean(self):
         check = DesignCheck(small_kernel(), ImplConfig(work_group_size=64), AMD_W9100)
         assert not run_lint(check).by_rule("OPT003")
+
+    def test_opt004_explosion_fires_under_tight_budget(self):
+        kernel = small_kernel("boom", elements=1 << 16, ops=16.0)
+        ctx = LintContext(spec=AMD_W9100, config_budget=4)
+        diags = run_lint(kernel, ctx).by_rule("OPT004")
+        assert diags and diags[0].severity == Severity.WARNING
+        assert "configs" in diags[0].message
+
+    def test_opt004_count_matches_enumeration(self):
+        kernel = small_kernel("boom", elements=1 << 16, ops=16.0)
+        enumerated = len(enumerate_configs(kernel, AMD_W9100))
+        ctx = LintContext(spec=AMD_W9100, config_budget=enumerated - 1)
+        diags = run_lint(kernel, ctx).by_rule("OPT004")
+        assert diags and f"enumerates {enumerated} configs" in diags[0].message
+        # At exactly the enumerated count the budget is respected.
+        ctx = LintContext(spec=AMD_W9100, config_budget=enumerated)
+        assert not run_lint(kernel, ctx).by_rule("OPT004")
+
+    def test_opt004_checks_every_context_spec(self):
+        kernel = small_kernel("boom", elements=1 << 16, ops=16.0)
+        ctx = LintContext(specs=(AMD_W9100, INTEL_ARRIA10), config_budget=1)
+        locations = {d.location for d in run_lint(kernel, ctx).by_rule("OPT004")}
+        assert len(locations) == 2
+
+    def test_opt004_bundled_apps_within_default_budget(self):
+        # The six Table-II apps must stay clean under the default budget;
+        # if a new kernel trips this, shrink its knob lists (or raise
+        # DEFAULT_CONFIG_BUDGET deliberately).
+        from repro import apps as apps_mod
+        from repro import runtime
+
+        specs = tuple(runtime.setting("I", "Heter-Poly").platforms)
+        for name in apps_mod.APP_BUILDERS:
+            report = run_lint(apps_mod.build(name), LintContext(specs=specs))
+            assert not report.by_rule("OPT004"), name
 
 
 # ---------------------------------------------------------------------------
