@@ -68,18 +68,38 @@ def _timed_trials(fn, trials: int) -> List[float]:
 
 def _bench_dse(app, platforms, trials: int, n_jobs: int) -> Dict:
     """Time the full application DSE; trial 0 is cold (cache cleared),
-    later trials run against the warm model cache."""
+    later trials run against the warm model cache.
+
+    Cache accounting reads from an obs :class:`MetricsRegistry` bound to
+    the model cache for the duration of the trials — the same counters a
+    ``repro obs`` run exports — rather than scraping the cache's internal
+    ints; the emitted ``cache`` keys stay schema-compatible with
+    SCHEMA_VERSION 1 documents.
+    """
+    from ..obs.metrics import MetricsRegistry
+
     clear_model_cache()
-    trial_s: List[float] = []
-    spaces = None
-    for i in range(trials):
-        start = time.perf_counter()
-        spaces = app.explore(platforms, n_jobs=n_jobs)
-        trial_s.append(time.perf_counter() - start)
-    stats = model_cache.stats()
+    registry = MetricsRegistry()
+    model_cache.bind_metrics(registry)
+    try:
+        trial_s: List[float] = []
+        spaces = None
+        for i in range(trials):
+            start = time.perf_counter()
+            spaces = app.explore(platforms, n_jobs=n_jobs)
+            trial_s.append(time.perf_counter() - start)
+        hits = int(registry.value("model_cache_hits_total"))
+        misses = int(registry.value("model_cache_misses_total"))
+        merges = int(registry.value("model_cache_merges_total"))
+    finally:
+        model_cache.bind_metrics(None)
+    total = hits + misses
     assert spaces is not None
     points = sum(len(s) for s in spaces.values())
     pareto_points = sum(len(s.pareto()) for s in spaces.values())
+    pruned_invalid = sum(
+        getattr(s, "pruned_invalid", 0) for s in spaces.values()
+    )
     return {
         "trial_s": trial_s,
         "median_s": statistics.median(trial_s),
@@ -90,10 +110,12 @@ def _bench_dse(app, platforms, trials: int, n_jobs: int) -> Dict:
         "spaces": len(spaces),
         "points": points,
         "pareto_points": pareto_points,
+        "pruned_invalid": pruned_invalid,
         "cache": {
-            "hits": int(stats["hits"]),
-            "misses": int(stats["misses"]),
-            "hit_rate": round(stats["hit_rate"], 4),
+            "hits": hits,
+            "misses": misses,
+            "merges": merges,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
         },
     }
 

@@ -43,6 +43,17 @@ Commands
     gates the run against a baseline document (CI's ``perf-smoke``
     job) and exits nonzero on a >``--max-ratio`` normalized
     regression.
+
+``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
+        [--summary] [--crash DEV@MS] [--recover DEV@MS]``
+    Traced simulation: serve a seeded Poisson stream with the span
+    tracer and metrics registry attached, and write four artifacts to
+    ``--out-dir``: ``trace.perfetto.json`` (open at ui.perfetto.dev —
+    per-device timeline tracks), ``events.jsonl`` (the typed event
+    stream), ``metrics.json`` and ``metrics.prom``.  Artifacts are
+    byte-identical across runs of the same seed.  ``--summary`` prints
+    a placement/occupancy digest; ``--crash``/``--recover`` injects
+    faults so the trace shows detection, failover and replanning.
 """
 
 from __future__ import annotations
@@ -277,16 +288,18 @@ def _cmd_faults(args) -> int:
         ctx = LintContext(
             design_spaces=spaces, devices=tuple(node.devices), qos_ms=app.qos_ms
         )
+        injector = FaultInjector(schedule, retry_policy=policy)
         gate = run_lint(schedule, ctx)
         gate.extend(run_lint(policy, ctx))
+        # OBS001 (warning): an untraced chaos run leaves no event trail.
+        gate.extend(run_lint(injector, ctx))
         for diag in gate:
             print(f"  {diag.render()}", file=sys.stderr)
         if not gate.ok:
             return 1
         arrivals = runtime.poisson_arrivals(args.rps, args.ms)
         result = runtime.run_simulation(
-            system, app, spaces, arrivals,
-            faults=FaultInjector(schedule, retry_policy=policy),
+            system, app, spaces, arrivals, faults=injector,
         )
         report = result.faults
         rows[name] = {
@@ -315,6 +328,91 @@ def _cmd_faults(args) -> int:
               f"({int(row['failovers'])} failovers)")
         print(f"  shed         : {int(row['shed'])}   "
               f"failed: {int(row['failed_requests'])}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import pathlib
+
+    import numpy as np
+
+    from .obs import (
+        MetricsRegistry,
+        SpanTracer,
+        placement_digest,
+        write_events_jsonl,
+        write_metrics_json,
+        write_metrics_prom,
+        write_perfetto_json,
+    )
+
+    name = args.app.upper()
+    if name not in apps_mod.APP_BUILDERS:
+        print(
+            f"unknown app {name!r}; choose from {sorted(apps_mod.APP_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    system = runtime.setting(args.setting, args.system)
+    app = apps_mod.build(name)
+
+    faults = None
+    if args.crash or args.recover:
+        from .faults import FaultInjector, RetryPolicy
+        from .faults.events import FaultEvent, FaultKind, FaultSchedule
+
+        events = [
+            FaultEvent(at_ms, FaultKind.DEVICE_CRASH, device)
+            for device, at_ms in (args.crash or [])
+        ] + [
+            FaultEvent(at_ms, FaultKind.RECOVERY, device)
+            for device, at_ms in (args.recover or [])
+        ]
+        faults = FaultInjector(FaultSchedule(events), retry_policy=RetryPolicy())
+
+    tracer = SpanTracer()
+    registry = MetricsRegistry()
+    from .hardware.model_cache import model_cache
+
+    model_cache.bind_metrics(registry)
+    spaces = app.explore(system.platforms)
+    model_cache.bind_metrics(None)
+    registry.counter("dse_pruned_invalid_total").inc(
+        sum(s.pruned_invalid for s in spaces.values())
+    )
+    registry.counter("dse_design_points_total").inc(
+        sum(len(s) for s in spaces.values())
+    )
+    arrivals = runtime.poisson_arrivals(
+        args.rps, args.ms, rng=np.random.default_rng(args.seed)
+    )
+    result = runtime.run_simulation(
+        system,
+        app,
+        spaces,
+        arrivals,
+        seed=args.seed,
+        faults=faults,
+        tracer=tracer,
+        metrics=registry,
+    )
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = [
+        write_perfetto_json(tracer.events, out_dir / "trace.perfetto.json"),
+        write_events_jsonl(tracer.events, out_dir / "events.jsonl"),
+        write_metrics_json(registry, out_dir / "metrics.json"),
+        write_metrics_prom(registry, out_dir / "metrics.prom"),
+    ]
+    print(
+        f"{name} on {args.system}/Setting-{args.setting} @ {args.rps:g} rps: "
+        f"{len(tracer)} events, {len(registry)} metric series"
+    )
+    for path in paths:
+        print(f"  wrote {path}")
+    if args.summary:
+        print(placement_digest(result, result.node))
     return 0
 
 
@@ -513,6 +611,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="print the full document")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "obs", help="traced simulation with Perfetto/metrics artifacts"
+    )
+    p.add_argument("app")
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--system",
+        default="Heter-Poly",
+        choices=("Homo-GPU", "Homo-FPGA", "Heter-Poly"),
+    )
+    p.add_argument("--rps", type=float, default=20.0)
+    p.add_argument("--ms", type=float, default=4_000.0)
+    p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument(
+        "--out-dir",
+        default="obs_out",
+        help="artifact directory (created if missing)",
+    )
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the placement/occupancy digest",
+    )
+    p.add_argument(
+        "--crash",
+        action="append",
+        type=_parse_device_at,
+        metavar="DEVICE@MS",
+        help="fail a device at a time (repeatable), e.g. fpga0@2000",
+    )
+    p.add_argument(
+        "--recover",
+        action="append",
+        type=_parse_device_at,
+        metavar="DEVICE@MS",
+        help="repair a device at a time (repeatable)",
+    )
+    p.set_defaults(fn=_cmd_obs)
     return parser
 
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Set
 
+from ..obs.tracer import NULL_TRACER
+
 __all__ = ["RecoveryRecord", "FailoverPlanner"]
 
 
@@ -59,6 +61,9 @@ class FailoverPlanner:
         self.node = node
         self.monitor = node.monitor
         self.heartbeat_timeout_ms = heartbeat_timeout_ms
+        #: Observability hook; the injector's bind() points this at the
+        #: run's tracer so detections/replans land in the same stream.
+        self.tracer = NULL_TRACER
         self.recoveries: List[RecoveryRecord] = []
         self.shed_level = 0.0
         self._down: Set[str] = set()
@@ -96,15 +101,39 @@ class FailoverPlanner:
         """Quarantine the device and replan over the surviving set."""
         device.failure_detected = True
         self._down.add(device.device_id)
+        failed_at = device.failed_at_ms if device.failed_at_ms is not None else now_ms
+        if self.tracer.enabled:
+            last = self.monitor.last_heartbeat_ms(device.device_id)
+            self.tracer.emit(
+                "fault.heartbeat_miss",
+                name=device.device_id,
+                t_ms=now_ms,
+                device=device.device_id,
+                last_beat_ms=last if last is not None else failed_at,
+            )
+            self.tracer.emit(
+                "fault.failover",
+                name=device.device_id,
+                t_ms=now_ms,
+                device=device.device_id,
+                failed_ms=failed_at,
+                detected_ms=now_ms,
+            )
         self.node.invalidate_plans()
         self.node.maybe_replan(now_ms)
-        failed_at = device.failed_at_ms if device.failed_at_ms is not None else now_ms
         self.recoveries.append(
             RecoveryRecord(device.device_id, failed_at, now_ms, now_ms)
         )
 
     def on_recovery(self, device, now_ms: float) -> None:
         """A repaired device rejoins the pool: replan to reuse it."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "fault.recover",
+                name=device.device_id,
+                t_ms=now_ms,
+                device=device.device_id,
+            )
         self._down.discard(device.device_id)
         self.monitor.record_heartbeat(device.device_id, now_ms)
         self.node.invalidate_plans()

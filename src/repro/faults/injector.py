@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from .events import FaultEvent, FaultKind, FaultSchedule
 from .failover import FailoverPlanner, RecoveryRecord
 from .policy import DeviceHealth, RetryPolicy
@@ -74,10 +75,15 @@ class FaultInjector:
         schedule: FaultSchedule,
         retry_policy: Optional[RetryPolicy] = None,
         heartbeat_timeout_ms: float = 50.0,
+        tracer=None,
     ) -> None:
         self.schedule = schedule
         self.policy = retry_policy or RetryPolicy()
         self.heartbeat_timeout_ms = heartbeat_timeout_ms
+        #: Observability hook; lint rule OBS001 warns when fault
+        #: injection runs with this left inert (chaos runs without a
+        #: trace sink are hard to debug after the fact).
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.report = ResilienceReport()
         self._cursor = 0
         self._consumed: Set[int] = set()
@@ -98,7 +104,12 @@ class FaultInjector:
                 f"node has {sorted(known)}"
             )
         self._node = node
+        if not self.tracer.enabled and node.tracer.enabled:
+            # A traced node traces its faults too, even when the
+            # injector was constructed before the tracer existed.
+            self.tracer = node.tracer
         self.planner = FailoverPlanner(node, self.heartbeat_timeout_ms)
+        self.planner.tracer = self.tracer
         self.report.recoveries = self.planner.recoveries
         node.attach_injector(self)
         return self.planner
@@ -123,19 +134,34 @@ class FaultInjector:
             if device.health != DeviceHealth.FAILED:
                 device.mark_failed(event.time_ms)
                 self.report.applied.append(event)
+                self._trace_applied(event)
         elif event.kind == FaultKind.SLOWDOWN:
             if device.health != DeviceHealth.FAILED:
                 device.mark_degraded(event.magnitude)
                 self.report.applied.append(event)
+                self._trace_applied(event)
         elif event.kind == FaultKind.RECOVERY:
             was_failed = device.health == DeviceHealth.FAILED
             if device.health != DeviceHealth.HEALTHY:
                 device.mark_recovered(event.time_ms)
                 self.report.applied.append(event)
+                self._trace_applied(event)
             if was_failed:
                 self.planner.on_recovery(device, now_ms)
         else:  # TRANSIENT events fire at dispatch time, not here.
             pass
+
+    def _trace_applied(self, event: FaultEvent) -> None:
+        if self.tracer.enabled:
+            args = {"fault": event.kind.value, "device": event.device_id}
+            if event.kind == FaultKind.SLOWDOWN:
+                args["magnitude"] = event.magnitude
+            self.tracer.emit(
+                "fault.inject",
+                name=event.kind.value,
+                t_ms=event.time_ms,
+                **args,
+            )
 
     # -- dispatch interception ------------------------------------------------
 
@@ -166,5 +192,6 @@ class FaultInjector:
         if transient is not None:
             self._consumed.add(transient[0])
             self.report.applied.append(self.schedule.events[transient[0]])
+            self._trace_applied(self.schedule.events[transient[0]])
             return transient[1], FaultKind.TRANSIENT
         return None

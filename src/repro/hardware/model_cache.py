@@ -94,6 +94,10 @@ class ModelEvalCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.merges = 0
+        #: Counters in a bound obs registry, updated alongside the ints
+        #: (``None`` until :meth:`bind_metrics`).
+        self._metrics = None
 
     # -- keying --------------------------------------------------------------
 
@@ -127,8 +131,12 @@ class ModelEvalCache:
             hit = self._entries.get(key)
             if hit is not None:
                 self.hits += 1
+                if self._metrics is not None:
+                    self._metrics[0].inc()
                 return hit
             self.misses += 1
+            if self._metrics is not None:
+                self._metrics[1].inc()
         if spec.device_type == DeviceType.FPGA:
             model = FPGAModel(spec)
             if not model.feasible(kernel, config):
@@ -173,14 +181,42 @@ class ModelEvalCache:
             self._entries.update(entries)
             self.hits += hits
             self.misses += misses
+            self.merges += 1
+            if self._metrics is not None:
+                hit_c, miss_c, merge_c = self._metrics
+                hit_c.inc(hits)
+                miss_c.inc(misses)
+                merge_c.inc()
 
     # -- bookkeeping ---------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror the hit/miss/merge counters into an obs registry.
+
+        The registry's counters advance *alongside* the plain ints from
+        the moment of binding (they do not backfill earlier activity —
+        call before exploration to capture a full run).  Binding a new
+        registry replaces the previous one; ``bind_metrics(None)``
+        detaches.
+        """
+        if registry is None:
+            with self._lock:
+                self._metrics = None
+            return
+        counters = (
+            registry.counter("model_cache_hits_total"),
+            registry.counter("model_cache_misses_total"),
+            registry.counter("model_cache_merges_total"),
+        )
+        with self._lock:
+            self._metrics = counters
 
     def stats(self) -> Dict[str, float]:
         total = self.hits + self.misses
         return {
             "hits": float(self.hits),
             "misses": float(self.misses),
+            "merges": float(self.merges),
             "size": float(len(self._entries)),
             "hit_rate": self.hits / total if total else 0.0,
         }
@@ -190,6 +226,7 @@ class ModelEvalCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.merges = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Set
 import networkx as nx
 
 from ..faults.events import FaultSchedule
+from ..faults.injector import FaultInjector
 from ..faults.policy import RetryPolicy
 from ..scheduler.kernel_graph import KernelGraph
 from .core import Diagnostic, LintContext, Severity, register_rule
@@ -292,4 +293,35 @@ def check_retry_policy_bounded(
                 "execution; no failover can happen"
             ),
             hint="allow at least one retry to exercise failover",
+        )
+
+
+@register_rule(
+    "OBS001",
+    Severity.WARNING,
+    (FaultInjector,),
+    "fault injection enabled without a tracer or heartbeat sink",
+)
+def check_injector_observable(
+    injector: FaultInjector, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """A chaos run that records nothing but end-of-run aggregates cannot
+    explain *which* fault caused a QoS excursion or how long detection
+    took; attach a :class:`~repro.obs.SpanTracer` (directly, or via the
+    node / ``run_simulation(tracer=...)``) so injections, missed
+    heartbeats and failover replans land in the event stream."""
+    if injector.schedule.events and not injector.tracer.enabled:
+        yield Diagnostic(
+            rule="OBS001",
+            severity=Severity.WARNING,
+            location=ctx.prefix("fault_injector"),
+            message=(
+                f"injector carries {len(injector.schedule.events)} fault "
+                "event(s) but its tracer is disabled; the chaos run will "
+                "leave no event trail"
+            ),
+            hint=(
+                "pass tracer=SpanTracer() to the injector or to "
+                "run_simulation (repro obs --crash ... does this)"
+            ),
         )

@@ -107,9 +107,14 @@ def availability(n_served: int, n_offered: int) -> float:
 def mean_recovery_ms(durations_ms: Sequence[float]) -> float:
     """Mean crash-to-failover recovery time; ``nan`` with no failures
     (a fault-free run has no recovery episodes, not a zero-length
-    one)."""
+    one).  Zero-duration episodes (detection and replan in the same
+    tick) are legal and average to 0.0; negative or non-finite
+    durations are rejected — a NaN-poisoned mean would propagate
+    silently into availability dashboards."""
     if not len(durations_ms):
         return float("nan")
+    if any(not math.isfinite(d) for d in durations_ms):
+        raise ValueError("recovery durations must be finite")
     if any(d < 0 for d in durations_ms):
         raise ValueError("recovery durations must be non-negative")
     return sum(durations_ms) / len(durations_ms)

@@ -38,6 +38,7 @@ from ..faults.events import FaultKind
 from ..faults.policy import DeviceHealth
 from ..hardware import DVFSPolicy, PCIeLink, model_for
 from ..hardware.specs import DeviceType
+from ..obs.tracer import NULL_TRACER
 from ..optim.design_point import DesignPoint, KernelDesignSpace
 from ..scheduler import DeviceSlot, PolyScheduler, StaticScheduler, SystemMonitor
 from .cluster import SchedulingPolicy, SystemConfig
@@ -337,12 +338,16 @@ class LeafNode:
         replan_interval_ms: float = 250.0,
         seed: int = 0,
         pcie: Optional[PCIeLink] = None,
+        tracer=None,
     ) -> None:
         self.system = system
         self.app = app
         self.design_spaces = design_spaces
         self.replan_interval_ms = replan_interval_ms
         self.pcie = pcie or PCIeLink()
+        #: Observability hook; the inert default keeps the request path
+        #: byte-identical to an uninstrumented build.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.monitor = SystemMonitor()
         self._rng = np.random.default_rng(seed)
         self._models = {spec.name: model_for(spec) for spec in system.platforms}
@@ -358,7 +363,9 @@ class LeafNode:
             self._by_platform.setdefault(dev.spec.name, []).append(dev)
 
         if system.policy == SchedulingPolicy.POLY:
-            self._scheduler = PolyScheduler(design_spaces, app.qos_ms, self.pcie)
+            self._scheduler = PolyScheduler(
+                design_spaces, app.qos_ms, self.pcie, tracer=self.tracer
+            )
         else:
             self._scheduler = StaticScheduler(design_spaces, app.qos_ms, self.pcie)
         #: Per-kernel operating points: {kernel: {platform: point}}.
@@ -377,6 +384,9 @@ class LeafNode:
         #: exact healthy-device code (bit-identical to a fault-free run).
         self._injector = None
         self._planner = None
+        self._req_seq = 0
+        self._current_req = 0
+        self._traced_mode: Optional[str] = None
 
     # -- fault hooks ----------------------------------------------------------
 
@@ -462,6 +472,9 @@ class LeafNode:
         if now_ms - self._last_replan_ms < self.replan_interval_ms and self._plan:
             return
         self._last_replan_ms = now_ms
+        tr = self.tracer
+        if tr.enabled:
+            tr.now_ms = now_ms
         if self._light_plan is None:
             self._light_plan, self._light_makespan = self._scheduled_plan()
             if self.system.policy == SchedulingPolicy.POLY:
@@ -473,12 +486,43 @@ class LeafNode:
             else:
                 self._heavy_plan = self._light_plan
                 self._heavy_makespan = self._light_makespan
+            if tr.enabled:
+                tr.emit(
+                    "plan.computed",
+                    name="light",
+                    t_ms=now_ms,
+                    mode="light",
+                    makespan_ms=round(self._light_makespan, 6),
+                    kernels=len(self._light_plan),
+                )
+                tr.emit(
+                    "plan.computed",
+                    name="heavy",
+                    t_ms=now_ms,
+                    mode="heavy",
+                    makespan_ms=round(self._heavy_makespan, 6),
+                    kernels=len(self._heavy_plan),
+                )
         if self._loaded_signal(now_ms):
             self._plan = self._heavy_plan
             self._plan_makespan_ms = self._heavy_makespan
+            mode = "heavy"
         else:
             self._plan = self._light_plan
             self._plan_makespan_ms = self._light_makespan
+            mode = "light"
+        if tr.enabled:
+            if mode != self._traced_mode:
+                self._traced_mode = mode
+                tr.emit(
+                    "plan.mode",
+                    name=mode,
+                    t_ms=now_ms,
+                    mode=mode,
+                    makespan_ms=round(self._plan_makespan_ms, 6),
+                )
+            snap = self.monitor.snapshot(now_ms)
+            tr.emit("monitor.snapshot", name="monitor", t_ms=now_ms, **snap)
 
     def _scheduled_plan(
         self,
@@ -708,6 +752,18 @@ class LeafNode:
         load, the failover planner sheds the lowest-priority requests at
         admission so the rest still meet the QoS bound.
         """
+        tr = self.tracer
+        if tr.enabled:
+            tr.now_ms = arrival_ms
+            self._req_seq += 1
+            self._current_req = self._req_seq
+            tr.emit(
+                "request.admit",
+                name=f"req-{self._current_req}",
+                t_ms=arrival_ms,
+                req=self._current_req,
+                priority=round(priority, 6),
+            )
         if self._injector is not None:
             self._injector.advance(arrival_ms)
         self.maybe_replan(arrival_ms)
@@ -717,6 +773,13 @@ class LeafNode:
         ):
             self.monitor.record_drop()
             self._injector.report.shed += 1
+            if tr.enabled:
+                tr.emit(
+                    "request.shed",
+                    name=f"req-{self._current_req}",
+                    t_ms=arrival_ms,
+                    req=self._current_req,
+                )
             return RequestRecord(
                 arrival_ms, arrival_ms, self._plan_makespan_ms, dropped=True
             )
@@ -748,12 +811,30 @@ class LeafNode:
                 failed=True,
             )
             self.monitor.record_completion(record.latency_ms, None)
+            if tr.enabled:
+                tr.emit(
+                    "request.abandon",
+                    name=f"req-{self._current_req}",
+                    t_ms=completion,
+                    req=self._current_req,
+                    kernel=abandoned.kernel_name,
+                    retries=retries,
+                )
             return record
 
         completion = max(ends[s][0] for s in graph.sinks())
         predicted = self._plan_makespan_ms
         record = RequestRecord(arrival_ms, completion, predicted, retries=retries)
         self.monitor.record_completion(record.latency_ms, predicted or None)
+        if tr.enabled:
+            tr.emit(
+                "request.complete",
+                name=f"req-{self._current_req}",
+                t_ms=completion,
+                req=self._current_req,
+                latency_ms=round(record.latency_ms, 6),
+                retries=retries,
+            )
         return record
 
     def _execute_kernel(
@@ -793,6 +874,21 @@ class LeafNode:
         start, end = device.dispatch(
             name, point, ready, self._gpu_window(device), noise
         )
+        if self.tracer.enabled:
+            # Decision record: the reserved window at dispatch time (GPU
+            # batch joins may later stretch the realized execution, which
+            # the end-of-run kernel.exec spans report truthfully).
+            self.tracer.emit(
+                "kernel.dispatch",
+                name=name,
+                t_ms=ready,
+                req=self._current_req,
+                kernel=name,
+                device=device.device_id,
+                point=point.index,
+                start_ms=round(start, 6),
+                end_ms=round(end, 6),
+            )
         return device, point, start, end
 
     def _execute_kernel_resilient(
@@ -837,6 +933,17 @@ class LeafNode:
             if first_device is None:
                 first_device = device.device_id
             injector.report.retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "fault.retry",
+                    name=name,
+                    t_ms=fault_ms,
+                    req=self._current_req,
+                    kernel=name,
+                    device=device.device_id,
+                    fault=kind.value,
+                    attempt=attempt,
+                )
             if kind == FaultKind.DEVICE_CRASH:
                 exclude.add(device.device_id)
             if attempt >= policy.max_retries:

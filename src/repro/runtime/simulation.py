@@ -14,7 +14,7 @@ the asymmetry behind Fig. 9/12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -43,6 +43,9 @@ class SimulationResult:
     bin_ms: float
     warmup_ms: float = 0.0
     faults: Optional[ResilienceReport] = None
+    #: The leaf node that produced this result (device records, final
+    #: health) — what the obs digest and exporters read post-run.
+    node: Optional[LeafNode] = field(default=None, repr=False, compare=False)
 
     def latencies_ms(self) -> List[float]:
         """Steady-state request latencies (warm-up excluded; shed and
@@ -119,6 +122,8 @@ def run_simulation(
     faults: Optional[Union[FaultSchedule, FaultInjector]] = None,
     retry_policy: Optional[RetryPolicy] = None,
     priorities: Optional[Sequence[float]] = None,
+    tracer=None,
+    metrics=None,
 ) -> SimulationResult:
     """Replay ``arrivals_ms`` (sorted timestamps) on a fresh leaf node.
 
@@ -129,15 +134,29 @@ def run_simulation(
     stream) consulted by graceful-degradation load shedding.  With
     ``faults=None`` the run is bit-identical to the pre-fault-injection
     simulator.
+
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records the typed
+    event stream of the run — request lifecycle, scheduling decisions,
+    dispatches, faults — plus one ``kernel.exec`` span per realized
+    device execution at the end; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) receives the run's aggregate
+    counters/gauges/histograms.  Both default to off, leaving the run
+    bit-identical to an uninstrumented build.
     """
     if not arrivals_ms:
         raise ValueError("empty arrival stream")
+    if tracer is None and isinstance(faults, FaultInjector):
+        # A pre-built injector constructed with its own tracer traces
+        # the whole run, not just the fault path.
+        if faults.tracer.enabled:
+            tracer = faults.tracer
     node = LeafNode(
         system,
         app,
         design_spaces,
         replan_interval_ms=replan_interval_ms,
         seed=seed,
+        tracer=tracer,
     )
     injector: Optional[FaultInjector] = None
     if faults is not None:
@@ -166,7 +185,7 @@ def run_simulation(
     arrival_span_ms = max(arrivals_ms[-1], bin_ms)
     duration_ms = max(max(r.completion_ms for r in requests), arrivals_ms[-1])
     power = _power_timeline(node, arrival_span_ms, bin_ms)
-    return SimulationResult(
+    result = SimulationResult(
         system=system.codename,
         app=app.name,
         duration_ms=duration_ms,
@@ -176,6 +195,16 @@ def run_simulation(
         warmup_ms=arrival_span_ms * warmup_frac,
         faults=injector.report if injector is not None else None,
     )
+    if (tracer is not None and tracer.enabled) or metrics is not None:
+        # Lazy import: the hot path never touches the obs package.
+        from ..obs.summary import emit_execution_spans, record_simulation_metrics
+
+        if tracer is not None and tracer.enabled:
+            emit_execution_spans(tracer, node)
+        if metrics is not None:
+            record_simulation_metrics(metrics, result, node)
+    result.node = node
+    return result
 
 
 def _power_timeline(

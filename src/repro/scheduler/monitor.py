@@ -159,6 +159,24 @@ class SystemMonitor:
             load = max(load, min(0.5 + self._queue_depth / 32.0, 1.5))
         return load
 
+    def snapshot(self, now_ms: float) -> Dict[str, float]:
+        """One observability sample of the feedback-loop state.
+
+        The fields mirror what the optimizer reads (queue depth,
+        correction factor, windowed tail, arrival rate) so a trace's
+        ``monitor.snapshot`` events reconstruct the loop's inputs at
+        every replan tick.  All values derive from the sim clock and
+        recorded events — nothing wall-clock — keeping traces
+        deterministic.
+        """
+        tail = self.tail_latency_ms()
+        return {
+            "queue_depth": self._queue_depth,
+            "correction_factor": round(self._correction, 6),
+            "tail_ms": round(tail, 6) if tail is not None else 0.0,
+            "arrival_rate_rps": round(self.arrival_rate_rps(now_ms), 6),
+        }
+
     def reset(self) -> None:
         """Clear all windows (used between experiment sweeps)."""
         self._latencies.clear()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.pcie import PCIeLink
+from ..obs.tracer import NULL_TRACER
 from ..optim.design_point import DesignPoint, KernelDesignSpace
 from .energy_opt import EnergyOptimizer, EnergyStep
 from .kernel_graph import KernelGraph
@@ -50,11 +51,15 @@ class PolyScheduler:
         design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
         latency_bound_ms: float,
         pcie: Optional[PCIeLink] = None,
+        tracer=None,
     ) -> None:
         if latency_bound_ms <= 0:
             raise ValueError("latency bound must be positive")
         self.design_spaces = design_spaces
         self.latency_bound_ms = latency_bound_ms
+        #: Observability hook; inert by default so untraced scheduling
+        #: stays on the exact pre-instrumentation code path.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.latency_optimizer = LatencyOptimizer(design_spaces, pcie)
         self.energy_optimizer = EnergyOptimizer(
             design_spaces, self.latency_optimizer
@@ -102,10 +107,45 @@ class PolyScheduler:
                 raise AdmissionError(report)
         step1 = self.latency_optimizer.schedule(graph, devices)
         if not optimize_energy:
+            self._trace_schedule(step1, [])
             return step1, []
-        return self.energy_optimizer.optimize(
+        final, steps = self.energy_optimizer.optimize(
             graph, devices, step1, self.latency_bound_ms
         )
+        self._trace_schedule(final, steps)
+        return final, steps
+
+    def _trace_schedule(
+        self, schedule: Schedule, steps: List[EnergyStep]
+    ) -> None:
+        """Emit one ``sched.place`` per final assignment (the Eq. 2-4
+        latency-pass decision after energy swaps) and one ``sched.swap``
+        per accepted Eq. 5 swap."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        for a in sorted(schedule, key=lambda a: (a.start_ms, a.kernel_name)):
+            tracer.emit(
+                "sched.place",
+                name=a.kernel_name,
+                kernel=a.kernel_name,
+                device=a.device_id,
+                point=a.point.index,
+                start_ms=round(a.start_ms, 6),
+                end_ms=round(a.end_ms, 6),
+            )
+        for step in steps:
+            tracer.emit(
+                "sched.swap",
+                name=step.kernel_name,
+                kernel=step.kernel_name,
+                device_before=step.device_before,
+                device_after=step.device_after,
+                point_before=step.before.index,
+                point_after=step.after.index,
+                energy_saved_mj=round(step.energy_saved_mj, 6),
+                makespan_ms=round(step.makespan_ms, 6),
+            )
 
     def min_latency_schedule(
         self, graph: KernelGraph, devices: Sequence[DeviceSlot]

@@ -25,9 +25,12 @@ TOP_KEYS = {
 }
 DSE_KEYS = {
     "trial_s", "median_s", "cold_s", "warm_median_s", "spaces", "points",
-    "pareto_points", "cache",
+    "pareto_points", "pruned_invalid", "cache",
 }
-CACHE_KEYS = {"hits", "misses", "hit_rate"}
+CACHE_KEYS = {"hits", "misses", "merges", "hit_rate"}
+#: Additive fields (obs wiring) absent from pre-obs baseline documents;
+#: the schema_version stayed 1 because consumers key off required keys.
+ADDITIVE_KEYS = {"pruned_invalid", "merges"}
 SCHED_KEYS = {"trial_s", "median_s", "swaps"}
 SIM_KEYS = {"trial_s", "median_s", "requests", "p99_ms"}
 
@@ -154,7 +157,8 @@ class TestCheckedInBaseline:
         doc = load_bench_json(BASELINE_PATH)
         assert doc["label"] == "baseline"
         for app, row in doc["apps"].items():
-            assert set(row["dse"]) == DSE_KEYS, app
+            assert DSE_KEYS - ADDITIVE_KEYS <= set(row["dse"]), app
+            assert set(row["dse"]) <= DSE_KEYS, app
 
     def test_baseline_covers_ci_apps(self):
         """perf-smoke benches ASR and WT; both must be gateable."""

@@ -343,6 +343,26 @@ class TestResilienceMetrics:
         with pytest.raises(ValueError):
             mean_recovery_ms([-1.0])
 
+    def test_mean_recovery_rejects_non_finite(self):
+        # A crash with no matching recovery must be excluded by the
+        # caller, not smuggled in as inf/nan (which would poison the
+        # mean silently).
+        with pytest.raises(ValueError, match="finite"):
+            mean_recovery_ms([50.0, math.inf])
+        with pytest.raises(ValueError, match="finite"):
+            mean_recovery_ms([math.nan])
+
+    def test_mean_recovery_zero_durations_are_legal(self):
+        # Instant failover (detection and replan in the same tick) is a
+        # valid episode, distinct from "no episodes" (nan).
+        assert mean_recovery_ms([0.0, 0.0]) == 0.0
+
+    def test_availability_empty_vs_zero_is_distinct(self):
+        # 0 completed of N offered is a real (terrible) availability;
+        # only 0-of-0 is undefined.
+        assert availability(0, 10) == 0.0
+        assert math.isnan(availability(0, 0))
+
 
 class TestSimulationEdgeCases:
     def _result(self, warmup_ms):
@@ -445,6 +465,25 @@ class TestFaultLintRules:
 
     def test_rt005_silent_on_default(self):
         assert run_lint(RetryPolicy(), LintContext()).ok
+
+    def test_obs001_warns_on_untraced_chaos(self):
+        injector = FaultInjector(FaultSchedule.single_crash("fpga0", at_ms=1.0))
+        report = run_lint(injector, LintContext())
+        assert report.ok  # a warning, not an error
+        diags = report.by_rule("OBS001")
+        assert len(diags) == 1
+        assert "tracer is disabled" in diags[0].message
+
+    def test_obs001_silent_with_tracer_or_empty_schedule(self):
+        from repro.obs import SpanTracer
+
+        traced = FaultInjector(
+            FaultSchedule.single_crash("fpga0", at_ms=1.0),
+            tracer=SpanTracer(),
+        )
+        assert not run_lint(traced, LintContext()).by_rule("OBS001")
+        no_faults = FaultInjector(FaultSchedule(()))
+        assert not run_lint(no_faults, LintContext()).by_rule("OBS001")
 
 
 class TestFaultsExperiment:

@@ -1,7 +1,9 @@
 """Unit tests for the system monitor (the Fig. 2 feedback loop)."""
 
+import numpy as np
 import pytest
 
+from repro.runtime import trace_arrivals
 from repro.scheduler import SystemMonitor
 
 
@@ -161,6 +163,96 @@ class TestQueueDepthOutOfOrder:
         assert m.tail_latency_ms() is None
         m.record_drop()  # spurious drop also clamps at zero
         assert m.queue_depth == 0
+
+
+class TestBurstDecay:
+    """Load-estimate behaviour under bursty loadgen traces: the arrival
+    rate must surge during a burst and decay back once it passes, and
+    the feedback correction must stay clamped however noisy the
+    burst-era latencies get."""
+
+    @staticmethod
+    def _bursty_arrivals():
+        # 1 s quiet / 1 s burst / 2 s quiet at a 100 rps peak.
+        return trace_arrivals(
+            [0.05, 1.0, 0.05, 0.05],
+            interval_ms=1000.0,
+            peak_rps=100.0,
+            rng=np.random.default_rng(7),
+        )
+
+    @staticmethod
+    def _rate_at(arrivals, now_ms):
+        # Replay the trace as a live monitor would see it: only
+        # arrivals that have already happened by ``now_ms``.
+        m = SystemMonitor(window=512)
+        for t in arrivals:
+            if t <= now_ms:
+                m.record_arrival(t)
+        return m
+
+    def test_arrival_rate_surges_then_decays(self):
+        arrivals = self._bursty_arrivals()
+        quiet = self._rate_at(arrivals, 1000.0).arrival_rate_rps(1000.0)
+        burst = self._rate_at(arrivals, 2000.0).arrival_rate_rps(2000.0)
+        after = self._rate_at(arrivals, 4500.0).arrival_rate_rps(4500.0)
+        assert burst > 5 * max(quiet, 1.0)
+        # The trailing-horizon window forgets the burst within a second.
+        assert after < 0.25 * burst
+
+    def test_load_estimate_decays_with_drained_queue(self):
+        arrivals = self._bursty_arrivals()
+        in_burst = self._rate_at(arrivals, 2000.0).load_estimate(
+            capacity_rps=100.0, now_ms=2000.0
+        )
+        m = self._rate_at(arrivals, 4500.0)
+        # Drain the queue: completions clear the queue-pressure nudge.
+        while m.queue_depth:
+            m.record_completion(10.0)
+        after = m.load_estimate(capacity_rps=100.0, now_ms=4500.0)
+        assert in_burst > 0.5
+        assert after < 0.25 * in_burst
+
+    def test_queue_nudge_dominates_when_backlogged(self):
+        # An un-drained queue keeps the load estimate elevated even
+        # after the arrival-rate window has gone quiet.
+        m = SystemMonitor(window=512)
+        for t in self._bursty_arrivals():
+            m.record_arrival(t)
+        assert m.queue_depth > 4
+        stale = m.load_estimate(capacity_rps=100.0, now_ms=10_000.0)
+        assert stale >= 0.5
+
+    def test_correction_clamped_through_bursty_latencies(self):
+        # Burst-era latencies overrun predictions wildly; the EWMA must
+        # ride at the clamp, never beyond it, and come back down once
+        # post-burst latencies match predictions again.
+        m = SystemMonitor(ewma_alpha=0.3, correction_bounds=(0.5, 2.0))
+        for _ in range(50):
+            m.record_completion(900.0, predicted_ms=30.0)
+        assert m.correction_factor <= 2.0
+        assert m.correction_factor == pytest.approx(2.0, rel=0.01)
+        for _ in range(50):
+            m.record_completion(30.0, predicted_ms=30.0)
+        assert m.correction_factor == pytest.approx(1.0, rel=0.05)
+
+    def test_snapshot_reports_loop_inputs(self):
+        m = SystemMonitor()
+        snap = SystemMonitor().snapshot(0.0)
+        assert snap == {
+            "queue_depth": 0,
+            "correction_factor": 1.0,
+            "tail_ms": 0.0,
+            "arrival_rate_rps": 0.0,
+        }
+        m.record_arrival(100.0)
+        m.record_arrival(110.0)
+        m.record_completion(42.0, predicted_ms=40.0)
+        snap = m.snapshot(500.0)
+        assert snap["queue_depth"] == 1
+        assert snap["tail_ms"] == pytest.approx(42.0)
+        assert snap["arrival_rate_rps"] == pytest.approx(2.0)
+        assert snap["correction_factor"] > 1.0
 
 
 class TestHeartbeats:
