@@ -35,14 +35,18 @@ Commands
     violations and failover/recovery statistics.  The schedule and
     retry policy are linted (RT004/RT005) before the run.
 
-``bench [--app NAME] [--trials 3] [--n-jobs 1] [--label L]
-        [--check BASELINE] [--max-ratio 2.0]``
+``bench [--app NAME] [--suite full|sched] [--trials 3] [--n-jobs 1]
+        [--label L] [--check BASELINE] [--max-ratio 2.0]
+        [--min-sched-speedup X]``
     Deterministic performance benchmark: time per-app DSE (cold and
-    cache-warm), the two-step scheduler and a fixed seeded simulation
-    over repeated trials; write ``BENCH_<label>.json``.  ``--check``
-    gates the run against a baseline document (CI's ``perf-smoke``
-    job) and exits nonzero on a >``--max-ratio`` normalized
-    regression.
+    cache-warm), the two-step scheduler, a fixed seeded simulation and
+    the runtime ``sched`` suite (steady-state throughput with the
+    schedule-plan cache on vs off, bit-identical results) over repeated
+    trials; write ``BENCH_<label>.json``.  ``--suite sched`` runs only
+    the runtime suite.  ``--check`` gates the run against a baseline
+    document (CI's ``perf-smoke`` job) and exits nonzero on a
+    >``--max-ratio`` normalized regression; ``--min-sched-speedup``
+    additionally fails when the warm plan-cached speedup drops below X.
 
 ``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
         [--summary] [--crash DEV@MS] [--recover DEV@MS]``
@@ -437,6 +441,7 @@ def _cmd_bench(args) -> int:
             duration_ms=args.ms,
             seed=args.seed,
             label=args.label,
+            suite=args.suite,
         )
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
@@ -448,13 +453,26 @@ def _cmd_bench(args) -> int:
     else:
         print(render_bench(doc))
         print(f"wrote {out}")
+    failed = False
     if args.check:
         baseline = load_bench_json(args.check)
         comparison = compare_to_baseline(doc, baseline, max_ratio=args.max_ratio)
         print(comparison.render())
-        if not comparison.ok:
-            return 1
-    return 0
+        failed = failed or not comparison.ok
+    if args.min_sched_speedup is not None:
+        for app, row in sorted(doc["apps"].items()):
+            sched = row.get("sched")
+            if sched is None:
+                continue
+            speedup = sched["speedup"]
+            ok = speedup >= args.min_sched_speedup
+            print(
+                f"  {app:4s} sched speedup {speedup:5.2f}x "
+                f"(gate >= {args.min_sched_speedup:.1f}x) "
+                f"[{'OK' if ok else 'REGRESSION'}]"
+            )
+            failed = failed or not ok
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -594,6 +612,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--ms", type=float, default=2_000.0, help="simulated duration per trial"
     )
     p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument(
+        "--suite",
+        default="full",
+        choices=("full", "sched"),
+        help="'full' = DSE+scheduler+simulation+sched, "
+        "'sched' = runtime plan-cache benchmark only",
+    )
     p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
     p.add_argument(
         "--out", help="output path (default ./BENCH_<label>.json)"
@@ -608,6 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="fail when normalized DSE median exceeds baseline by this factor",
+    )
+    p.add_argument(
+        "--min-sched-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any app's warm plan-cached speedup is below X",
     )
     p.add_argument("--json", action="store_true", help="print the full document")
     p.set_defaults(fn=_cmd_bench)

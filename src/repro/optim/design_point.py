@@ -10,7 +10,7 @@ pair — the object Fig. 1(c) plots and the runtime scheduler consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..hardware.config import ImplConfig
 from ..hardware.specs import DeviceType
@@ -103,6 +103,15 @@ class KernelDesignSpace:
                 sorted(points, key=lambda p: (p.latency_ms, p.power_w))
             )
         ]
+        # The points list is frozen after construction, so the scheduler
+        # selections below are pure and memoizable.  min_latency() sits
+        # on the runtime hot path (rank priorities, throughput planning,
+        # failover candidates); computing each selection once turns those
+        # into attribute reads.
+        self._min_latency: Optional[DesignPoint] = None
+        self._min_power: Optional[DesignPoint] = None
+        self._max_efficiency: Optional[DesignPoint] = None
+        self._pareto: Optional[List[DesignPoint]] = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -117,25 +126,39 @@ class KernelDesignSpace:
 
     def min_latency(self) -> DesignPoint:
         """Fastest implementation (baseline hard-mapping under tight QoS)."""
-        return min(self.points, key=lambda p: p.latency_ms)
+        if self._min_latency is None:
+            self._min_latency = min(self.points, key=lambda p: p.latency_ms)
+        return self._min_latency
 
     def min_power(self) -> DesignPoint:
         """Lowest-power implementation (deep energy saving mode)."""
-        return min(self.points, key=lambda p: p.power_w)
+        if self._min_power is None:
+            self._min_power = min(self.points, key=lambda p: p.power_w)
+        return self._min_power
 
     def max_efficiency(self) -> DesignPoint:
         """Most energy-efficient implementation (baseline under slack QoS)."""
-        return max(self.points, key=lambda p: p.energy_efficiency)
+        if self._max_efficiency is None:
+            self._max_efficiency = max(
+                self.points, key=lambda p: p.energy_efficiency
+            )
+        return self._max_efficiency
 
     def pareto(self) -> List[DesignPoint]:
-        """Latency/power Pareto frontier, sorted by ascending latency."""
-        frontier: List[DesignPoint] = []
-        best_power = float("inf")
-        for p in self.points:  # already sorted by (latency, power)
-            if p.power_w < best_power:
-                frontier.append(p)
-                best_power = p.power_w
-        return frontier
+        """Latency/power Pareto frontier, sorted by ascending latency.
+
+        Returns a fresh list each call (callers may slice/extend), built
+        from a memoized frontier.
+        """
+        if self._pareto is None:
+            frontier: List[DesignPoint] = []
+            best_power = float("inf")
+            for p in self.points:  # already sorted by (latency, power)
+                if p.power_w < best_power:
+                    frontier.append(p)
+                    best_power = p.power_w
+            self._pareto = frontier
+        return list(self._pareto)
 
     def within_latency(self, bound_ms: float) -> List[DesignPoint]:
         """All points meeting a latency bound."""

@@ -8,7 +8,8 @@ PCIe when producer and consumer land on different accelerators.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -24,6 +25,11 @@ class KernelGraph:
         self.name = name
         self.graph = nx.DiGraph()
         self._kernels: Dict[str, Kernel] = {}
+        #: Bumped on every structural mutation; guards memoized products
+        #: (the structural signature, cached priority ranks) so a graph
+        #: edited after scheduling cannot serve stale cache entries.
+        self._version = 0
+        self._signature: Optional[Tuple[int, str]] = None
 
     # -- construction ------------------------------------------------------
 
@@ -33,6 +39,7 @@ class KernelGraph:
             raise ValueError(f"duplicate kernel name {kernel.name!r}")
         self._kernels[kernel.name] = kernel
         self.graph.add_node(kernel.name)
+        self._version += 1
         return kernel
 
     def connect(self, src: str, dst: str, nbytes: Optional[int] = None) -> None:
@@ -52,8 +59,37 @@ class KernelGraph:
         if nbytes < 0:
             raise ValueError("edge bytes must be non-negative")
         self.graph.add_edge(src, dst, nbytes=nbytes)
+        self._version += 1
 
     # -- queries -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Structural revision counter (add_kernel/connect bump it)."""
+        return self._version
+
+    def structural_signature(self) -> str:
+        """Stable digest of the graph *structure*: name, kernel names,
+        and byte-annotated edges.
+
+        This is the cache-key component the schedule-plan cache and the
+        priority-rank memo use: two graphs with equal signatures present
+        the identical scheduling problem (given equal design spaces).
+        The digest is memoized against :attr:`version`, so repeated
+        lookups cost a tuple compare, not a hash of the whole graph.
+        """
+        cached = self._signature
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        parts = [self.name]
+        parts.extend(sorted(self._kernels))
+        parts.extend(
+            f"{u}->{v}|{d['nbytes']}"
+            for u, v, d in sorted(self.graph.edges(data=True))
+        )
+        sig = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        self._signature = (self._version, sig)
+        return sig
 
     def kernel(self, name: str) -> Kernel:
         return self._kernels[name]

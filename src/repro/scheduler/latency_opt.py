@@ -16,12 +16,12 @@ earliest using the fastest implementation available on that device.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hardware.pcie import PCIeLink
 from ..optim.design_point import DesignPoint, KernelDesignSpace
 from .kernel_graph import KernelGraph
-from .priority import priority_order
+from .priority import priority_order as _priority_order
 from .types import Assignment, DeviceSlot, Schedule
 
 __all__ = ["LatencyOptimizer"]
@@ -37,8 +37,32 @@ class LatencyOptimizer:
     ) -> None:
         self.design_spaces = design_spaces
         self.pcie = pcie or PCIeLink()
+        #: Memoized W_L rank orders keyed on (graph structural signature,
+        #: platform set).  Design spaces and PCIe are fixed per instance,
+        #: so the ranks are pure in those two inputs; the signature is
+        #: version-guarded, so a mutated graph re-ranks automatically.
+        self._rank_memo: Dict[Tuple[str, Tuple[str, ...]], List[str]] = {}
 
     # -- public API ----------------------------------------------------------
+
+    def priority_order(
+        self, graph: KernelGraph, platforms: Sequence[str]
+    ) -> List[str]:
+        """Eq. 2-3 descending-W_L kernel order, memoized.
+
+        Step 1, :meth:`retime` (called once per Step-2 swap candidate)
+        and the static baseline all rank the same graph identically —
+        one ranks table serves them all.  Callers must not mutate the
+        returned list.
+        """
+        key = (graph.structural_signature(), tuple(platforms))
+        order = self._rank_memo.get(key)
+        if order is None:
+            order = _priority_order(
+                graph, self.design_spaces, platforms, self.pcie
+            )
+            self._rank_memo[key] = order
+        return order
 
     def schedule(
         self, graph: KernelGraph, devices: Sequence[DeviceSlot]
@@ -48,7 +72,7 @@ class LatencyOptimizer:
         if not devices:
             raise ValueError("no devices to schedule on")
         platforms = sorted({d.platform for d in devices})
-        order = priority_order(graph, self.design_spaces, platforms, self.pcie)
+        order = self.priority_order(graph, platforms)
 
         available = {d.device_id: d.available_at_ms for d in devices}
         placed: Dict[str, Assignment] = {}
@@ -94,13 +118,14 @@ class LatencyOptimizer:
         is given.  Kernels keep the Step-1 priority order on each device.
         """
         platforms = sorted({d.platform for d in devices})
-        order = priority_order(graph, self.design_spaces, platforms, self.pcie)
+        order = self.priority_order(graph, platforms)
         available = {d.device_id: d.available_at_ms for d in devices}
+        by_id = {d.device_id: d for d in devices}
         placed: Dict[str, Assignment] = {}
 
         for name in order:
             point, device_id = choices[name]
-            dev = next(d for d in devices if d.device_id == device_id)
+            dev = by_id[device_id]
             est = self._earliest_start(name, dev, graph, placed, available[device_id])
             placed[name] = Assignment(
                 kernel_name=name,

@@ -1,0 +1,289 @@
+"""Memoized runtime schedule plans (the online half of the DSE split).
+
+The Pareto frontiers the scheduler consumes are frozen offline, so a
+runtime plan is a pure function of (kernel graph, device state, QoS
+slack).  :class:`SchedulePlanCache` memoizes the full two-step result
+of :meth:`PolyScheduler.schedule` / :meth:`min_latency_schedule` behind
+a key of:
+
+* the kernel graph's **structural signature** (name, kernels, byte
+  annotated edges — :meth:`KernelGraph.structural_signature`),
+* a **device digest** preserving pool order (list scheduling breaks
+  finish-time ties by iteration order) with availability horizons
+  quantized into ``avail_quant_ms`` buckets,
+* the **slack bucket** (the latency bound quantized by
+  ``slack_quant_ms``; the slack Step 2 can spend is bound minus
+  queueing, and queueing lives in the device digest),
+* whether Step 2 (energy optimization) ran.
+
+Quantization groups near-identical device states under one key, but a
+hit is only served when the *exact* availability vector and bound also
+match the stored entry — bit-identical replay is the contract, so a
+same-bucket/different-exact probe recomputes and refreshes the entry
+instead of serving a neighbour's plan.
+
+The cache key deliberately excludes the design-space contents: spaces
+are immutable after DSE, and anything that swaps them (fault-driven
+capability changes, re-exploration) must call :meth:`invalidate` — the
+runtime wires this into ``LeafNode.invalidate_plans()`` on the
+fault/recovery path.  :meth:`bind_metrics` mirrors hit/miss/evict
+counters into a :class:`~repro.obs.MetricsRegistry`, like
+:class:`~repro.hardware.model_cache.ModelEvalCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .energy_opt import EnergyStep
+from .kernel_graph import KernelGraph
+from .types import DeviceSlot, Schedule
+
+__all__ = [
+    "CachedPlan",
+    "SchedulePlanCache",
+    "plan_cache",
+    "clear_plan_cache",
+]
+
+#: Quantization granularity of device availability horizons (ms).
+DEFAULT_AVAIL_QUANT_MS = 0.25
+#: Quantization granularity of the latency bound / slack (ms).
+DEFAULT_SLACK_QUANT_MS = 0.25
+#: LRU capacity; one entry per (graph, device-state bucket) pair.
+DEFAULT_MAX_ENTRIES = 512
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One memoized two-step scheduling result.
+
+    ``exact_avail``/``exact_bound_ms`` pin the entry to the precise
+    inputs it was computed from; a key hit with different exact values
+    (same quantization bucket) is treated as a miss and overwritten.
+    """
+
+    schedule: Schedule
+    steps: Tuple[EnergyStep, ...]
+    exact_avail: Tuple[float, ...]
+    exact_bound_ms: float
+
+
+class SchedulePlanCache:
+    """LRU memo table for runtime schedule plans."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        avail_quant_ms: float = DEFAULT_AVAIL_QUANT_MS,
+        slack_quant_ms: float = DEFAULT_SLACK_QUANT_MS,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if avail_quant_ms <= 0 or slack_quant_ms <= 0:
+            raise ValueError("quantization granularity must be positive")
+        self.max_entries = max_entries
+        self.avail_quant_ms = avail_quant_ms
+        self.slack_quant_ms = slack_quant_ms
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: Counters in a bound obs registry, updated alongside the ints
+        #: (``None`` until :meth:`bind_metrics`).
+        self._metrics = None
+        #: Owners (nodes/schedulers) that wired :meth:`invalidate` into
+        #: their replan path; RT006 warns when a cache-enabled owner is
+        #: missing from this set.
+        self._invalidation_owners: "weakref.WeakSet" = weakref.WeakSet()
+
+    # -- keying --------------------------------------------------------------
+
+    def _key(
+        self,
+        graph: KernelGraph,
+        devices: Sequence[DeviceSlot],
+        bound_ms: float,
+        optimize_energy: bool,
+    ) -> tuple:
+        dev_digest = tuple(
+            (
+                d.device_id,
+                d.platform,
+                d.device_type.value,
+                int(round(d.available_at_ms / self.avail_quant_ms)),
+            )
+            for d in devices
+        )
+        slack_bucket = int(round(bound_ms / self.slack_quant_ms))
+        return (
+            graph.structural_signature(),
+            dev_digest,
+            slack_bucket,
+            optimize_energy,
+        )
+
+    # -- lookup / store ------------------------------------------------------
+
+    def lookup(
+        self,
+        graph: KernelGraph,
+        devices: Sequence[DeviceSlot],
+        bound_ms: float,
+        optimize_energy: bool,
+    ) -> Optional[Tuple[Schedule, List[EnergyStep]]]:
+        """Return the memoized (schedule, steps) or ``None`` on a miss.
+
+        The steps list is a fresh copy; the :class:`Schedule` is shared
+        (it is effectively immutable — frozen assignments).
+        """
+        key = self._key(graph, devices, bound_ms, optimize_energy)
+        exact = tuple(d.available_at_ms for d in devices)
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.exact_avail == exact
+                and entry.exact_bound_ms == bound_ms
+            ):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self._metrics is not None:
+                    self._metrics[0].inc()
+                return entry.schedule, list(entry.steps)
+            self.misses += 1
+            if self._metrics is not None:
+                self._metrics[1].inc()
+            return None
+
+    def store(
+        self,
+        graph: KernelGraph,
+        devices: Sequence[DeviceSlot],
+        bound_ms: float,
+        optimize_energy: bool,
+        schedule: Schedule,
+        steps: Sequence[EnergyStep],
+    ) -> None:
+        """Memoize one computed plan, evicting LRU entries past capacity."""
+        key = self._key(graph, devices, bound_ms, optimize_energy)
+        entry = CachedPlan(
+            schedule=schedule,
+            steps=tuple(steps),
+            exact_avail=tuple(d.available_at_ms for d in devices),
+            exact_bound_ms=bound_ms,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics[2].inc()
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, graph_signature: Optional[str] = None) -> int:
+        """Drop entries for one graph signature, or everything.
+
+        Called from ``LeafNode.invalidate_plans()`` whenever device
+        health changes (fault confirmed, recovery observed): the cached
+        plans were computed against the old live-device view.  Returns
+        the number of entries dropped.
+        """
+        with self._lock:
+            if graph_signature is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    k for k in self._entries if k[0] == graph_signature
+                ]
+                dropped = len(stale)
+                for k in stale:
+                    del self._entries[k]
+            if dropped:
+                self.invalidations += 1
+        return dropped
+
+    def bind_invalidation(self, owner: object) -> None:
+        """Record that ``owner`` wired :meth:`invalidate` into its
+        replan/fault path (weakly referenced — no lifetime coupling)."""
+        self._invalidation_owners.add(owner)
+
+    def bound_to(self, owner: object) -> bool:
+        """True when ``owner`` registered an invalidation hook."""
+        return owner in self._invalidation_owners
+
+    @property
+    def has_invalidation_hook(self) -> bool:
+        """True when *any* owner registered an invalidation hook."""
+        return len(self._invalidation_owners) > 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror hit/miss/evict counters into an obs registry.
+
+        Counters advance alongside the plain ints from the moment of
+        binding (no backfill); ``bind_metrics(None)`` detaches.
+        """
+        if registry is None:
+            with self._lock:
+                self._metrics = None
+            return
+        counters = (
+            registry.counter("plan_cache_hits_total"),
+            registry.counter("plan_cache_misses_total"),
+            registry.counter("plan_cache_evictions_total"),
+        )
+        with self._lock:
+            self._metrics = counters
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+            "size": float(len(self._entries)),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters (hooks stay bound)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<SchedulePlanCache: {int(s['size'])} entries, "
+            f"{int(s['hits'])} hits / {int(s['misses'])} misses, "
+            f"{int(s['evictions'])} evicted>"
+        )
+
+
+#: Process-wide cache instance (opt-in: pass it to PolyScheduler/LeafNode
+#: or ``run_simulation(plan_cache=...)``).
+plan_cache = SchedulePlanCache()
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans and reset the counters."""
+    plan_cache.clear()

@@ -22,7 +22,7 @@ from ..optim.design_point import DesignPoint, KernelDesignSpace
 from .energy_opt import EnergyOptimizer, EnergyStep
 from .kernel_graph import KernelGraph
 from .latency_opt import LatencyOptimizer
-from .priority import priority_order
+from .plan_cache import SchedulePlanCache
 from .types import Assignment, DeviceSlot, Schedule
 
 __all__ = ["PolyScheduler", "StaticScheduler", "AdmissionError"]
@@ -52,6 +52,7 @@ class PolyScheduler:
         latency_bound_ms: float,
         pcie: Optional[PCIeLink] = None,
         tracer=None,
+        plan_cache: Optional[SchedulePlanCache] = None,
     ) -> None:
         if latency_bound_ms <= 0:
             raise ValueError("latency bound must be positive")
@@ -60,6 +61,11 @@ class PolyScheduler:
         #: Observability hook; inert by default so untraced scheduling
         #: stays on the exact pre-instrumentation code path.
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Optional memo table for full two-step plans; ``None`` keeps
+        #: the exact uncached code path.  Whoever owns the fault/replan
+        #: loop must wire invalidation (see
+        #: :class:`~repro.scheduler.plan_cache.SchedulePlanCache`).
+        self.plan_cache = plan_cache
         self.latency_optimizer = LatencyOptimizer(design_spaces, pcie)
         self.energy_optimizer = EnergyOptimizer(
             design_spaces, self.latency_optimizer
@@ -105,13 +111,30 @@ class PolyScheduler:
             report = self.admission_check(graph, devices)
             if not report.ok:
                 raise AdmissionError(report)
+        cache = self.plan_cache
+        if cache is not None:
+            cached = cache.lookup(
+                graph, devices, self.latency_bound_ms, optimize_energy
+            )
+            if cached is not None:
+                schedule, steps = cached
+                self._trace_schedule(schedule, steps)
+                return schedule, steps
         step1 = self.latency_optimizer.schedule(graph, devices)
         if not optimize_energy:
+            if cache is not None:
+                cache.store(
+                    graph, devices, self.latency_bound_ms, False, step1, ()
+                )
             self._trace_schedule(step1, [])
             return step1, []
         final, steps = self.energy_optimizer.optimize(
             graph, devices, step1, self.latency_bound_ms
         )
+        if cache is not None:
+            cache.store(
+                graph, devices, self.latency_bound_ms, True, final, steps
+            )
         self._trace_schedule(final, steps)
         return final, steps
 
@@ -150,8 +173,24 @@ class PolyScheduler:
     def min_latency_schedule(
         self, graph: KernelGraph, devices: Sequence[DeviceSlot]
     ) -> Schedule:
-        """Step 1 only (used for capacity probing)."""
-        return self.latency_optimizer.schedule(graph, devices)
+        """Step 1 only (used for capacity probing).
+
+        Shares cache entries with ``schedule(optimize_energy=False)`` —
+        both are the pure Step-1 result for the same key.
+        """
+        cache = self.plan_cache
+        if cache is not None:
+            cached = cache.lookup(
+                graph, devices, self.latency_bound_ms, False
+            )
+            if cached is not None:
+                return cached[0]
+        step1 = self.latency_optimizer.schedule(graph, devices)
+        if cache is not None:
+            cache.store(
+                graph, devices, self.latency_bound_ms, False, step1, ()
+            )
+        return step1
 
 
 class StaticScheduler:
@@ -173,7 +212,10 @@ class StaticScheduler:
         self.latency_bound_ms = latency_bound_ms
         self.pcie = pcie or PCIeLink()
         self._latency_optimizer = LatencyOptimizer(design_spaces, pcie)
-        self._fixed_choice: Dict[str, DesignPoint] = {}
+        #: Per-graph frozen policy: graph name -> use_max_eff.  Keyed by
+        #: name so each application's offline decision survives other
+        #: graphs being scheduled through the same instance.
+        self._fixed_choice: Dict[str, bool] = {}
 
     def _fixed_point(
         self, kernel_name: str, platform: str, use_max_eff: bool
@@ -201,11 +243,12 @@ class StaticScheduler:
     ) -> Schedule:
         """Schedule with the frozen per-kernel implementation choice."""
         key = graph.name
-        if key not in self._fixed_choice:
+        policy = self._fixed_choice.get(key)
+        if policy is None:
             # Freeze the policy on first use (offline decision).
-            self._policy_max_eff = self._choose_policy(graph, devices)
-            self._fixed_choice[key] = True  # sentinel: policy frozen
-        return self._schedule_fixed(graph, devices, self._policy_max_eff)
+            policy = self._choose_policy(graph, devices)
+            self._fixed_choice[key] = policy
+        return self._schedule_fixed(graph, devices, policy)
 
     def _schedule_fixed(
         self,
@@ -214,9 +257,7 @@ class StaticScheduler:
         use_max_eff: bool,
     ) -> Schedule:
         platforms = sorted({d.platform for d in devices})
-        order = priority_order(
-            graph, self.design_spaces, platforms, self.pcie
-        )
+        order = self._latency_optimizer.priority_order(graph, platforms)
         available = {d.device_id: d.available_at_ms for d in devices}
         placed: Dict[str, Assignment] = {}
         for name in order:

@@ -21,7 +21,7 @@ from repro.cli import main as cli_main
 #: The stable BENCH layout; CI tooling and the trend record key off it.
 TOP_KEYS = {
     "schema_version", "label", "setting", "system", "trials", "n_jobs",
-    "calibration_s", "apps",
+    "suite", "calibration_s", "apps",
 }
 DSE_KEYS = {
     "trial_s", "median_s", "cold_s", "warm_median_s", "spaces", "points",
@@ -33,6 +33,14 @@ CACHE_KEYS = {"hits", "misses", "merges", "hit_rate"}
 ADDITIVE_KEYS = {"pruned_invalid", "merges"}
 SCHED_KEYS = {"trial_s", "median_s", "swaps"}
 SIM_KEYS = {"trial_s", "median_s", "requests", "p99_ms"}
+RT_SCHED_KEYS = {"trial_s", "median_s", "cold_s", "speedup", "loads"}
+RT_LOAD_KEYS = {
+    "rps", "duration_ms", "requests", "uncached_trial_s",
+    "uncached_median_s", "uncached_req_per_s", "cached_cold_s",
+    "cached_warm_trial_s", "cached_warm_median_s", "cached_warm_req_per_s",
+    "pair_speedups", "speedup", "p99_ms", "identical", "plan_cache",
+}
+PLAN_CACHE_KEYS = {"hits", "misses", "evictions", "hit_rate"}
 
 
 @pytest.fixture(scope="module")
@@ -49,11 +57,15 @@ class TestSchema:
 
     def test_app_sections(self, mf_doc):
         row = mf_doc["apps"]["MF"]
-        assert set(row) == {"dse", "scheduler", "simulation"}
+        assert set(row) == {"dse", "scheduler", "simulation", "sched"}
         assert set(row["dse"]) == DSE_KEYS
         assert set(row["dse"]["cache"]) == CACHE_KEYS
         assert set(row["scheduler"]) == SCHED_KEYS
         assert set(row["simulation"]) == SIM_KEYS
+        assert set(row["sched"]) == RT_SCHED_KEYS
+        for load in row["sched"]["loads"].values():
+            assert set(load) == RT_LOAD_KEYS
+            assert set(load["plan_cache"]) == PLAN_CACHE_KEYS
 
     def test_trial_counts_and_medians(self, mf_doc):
         row = mf_doc["apps"]["MF"]
@@ -164,6 +176,59 @@ class TestCheckedInBaseline:
         """perf-smoke benches ASR and WT; both must be gateable."""
         doc = load_bench_json(BASELINE_PATH)
         assert {"ASR", "WT"} <= set(doc["apps"])
+
+    def test_baseline_gates_sched_sections(self):
+        """The cached-runtime sections must carry the gated metrics."""
+        doc = load_bench_json(BASELINE_PATH)
+        for app, row in doc["apps"].items():
+            assert {"median_s", "cold_s"} <= set(row["sched"]), app
+
+
+class TestSchedSuite:
+    def test_sched_suite_runs_only_sched(self):
+        doc = run_bench(app_names=["MF"], trials=1, label="s", suite="sched")
+        assert doc["suite"] == "sched"
+        row = doc["apps"]["MF"]
+        assert set(row) == {"sched"}
+        assert set(row["sched"]) == RT_SCHED_KEYS
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="suite"):
+            run_bench(app_names=["MF"], trials=1, suite="nope")
+
+    def test_cached_runs_bit_identical_with_hits(self, mf_doc):
+        s = mf_doc["apps"]["MF"]["sched"]
+        for load in s["loads"].values():
+            assert load["identical"] is True
+            pc = load["plan_cache"]
+            assert pc["hits"] > 0
+            assert 0 < pc["hit_rate"] <= 1
+            assert len(load["pair_speedups"]) == 2
+        # trials=2 -> one cold fill plus two warm trials.
+        assert len(s["trial_s"]) == 3
+        assert s["speedup"] > 0
+
+    def test_render_includes_runtime_line(self, mf_doc):
+        assert "sched-rt" in render_bench(mf_doc)
+
+    def test_gate_covers_sched_section(self, mf_doc):
+        slow = copy.deepcopy(mf_doc)
+        sec = slow["apps"]["MF"]["sched"]
+        sec["median_s"] *= 5.0
+        sec["cold_s"] *= 5.0
+        comparison = compare_to_baseline(slow, mf_doc, max_ratio=2.0)
+        assert not comparison.ok
+        assert any("MF/sched" in r for r in comparison.regressions)
+
+    def test_cli_min_sched_speedup_gate(self, tmp_path):
+        out = tmp_path / "BENCH_s.json"
+        args = [
+            "bench", "--app", "mf", "--suite", "sched", "--trials", "1",
+            "--label", "s", "--out", str(out),
+        ]
+        assert cli_main(args + ["--min-sched-speedup", "1e9"]) == 1
+        assert cli_main(args + ["--min-sched-speedup", "0.0"]) == 0
+        assert load_bench_json(out)["suite"] == "sched"
 
 
 class TestCLI:

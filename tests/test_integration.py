@@ -67,6 +67,28 @@ class TestEndToEnd:
         assert a.p99_ms == b.p99_ms
         assert a.avg_power_w == b.avg_power_w
 
+    def test_unsorted_arrivals_match_sorted(self, asr_setup):
+        """Regression: the power window and run duration derive from
+        the *sorted* stream, so caller ordering must not matter."""
+        import random
+
+        app, systems, spaces = asr_setup
+        arr = runtime.poisson_arrivals(20.0, 3000.0)
+        shuffled = list(arr)
+        random.Random(42).shuffle(shuffled)
+        a = runtime.run_simulation(
+            systems["Heter-Poly"], app, spaces["Heter-Poly"], arr, seed=3
+        )
+        b = runtime.run_simulation(
+            systems["Heter-Poly"], app, spaces["Heter-Poly"], shuffled, seed=3
+        )
+        assert [r.latency_ms for r in a.requests] == [
+            r.latency_ms for r in b.requests
+        ]
+        assert a.duration_ms == b.duration_ms
+        assert a.arrival_span_ms == b.arrival_span_ms
+        assert (a.power_bins_w == b.power_bins_w).all()
+
     def test_power_bins_cover_offered_load_window(self, asr_setup):
         app, systems, spaces = asr_setup
         arr = runtime.poisson_arrivals(15.0, 4000.0)

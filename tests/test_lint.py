@@ -33,7 +33,13 @@ from repro.lint.core import _REGISTRY
 from repro.optim.dse import enumerate_configs, explore_kernel, prune_invalid_configs
 from repro.patterns import Kernel, Map, PPG, Reduce, Scatter, Tensor
 from repro.patterns.ppg import PPGEdge
-from repro.scheduler import AdmissionError, DeviceSlot, KernelGraph, PolyScheduler
+from repro.scheduler import (
+    AdmissionError,
+    DeviceSlot,
+    KernelGraph,
+    PolyScheduler,
+    SchedulePlanCache,
+)
 
 EXPECTED_RULES = {
     "PPG001", "PPG002", "PPG003", "PPG004", "PPG005", "PPG006", "PPG007",
@@ -432,6 +438,34 @@ class TestRuntimeRules:
             devices=(DeviceSlot("gpu0", AMD_W9100.name, DeviceType.GPU),),
         )
         assert not run_lint(graph, ctx, expand=False).by_rule("RT003")
+
+
+class TestPlanCacheInvalidationRule:
+    def _scheduler(self, cache):
+        spaces = _spaces_for(chain_graph(n=2), AMD_W9100.name, latency_ms=10.0)
+        return PolyScheduler(spaces, 200.0, plan_cache=cache)
+
+    def test_rt006_unbound_cache_warns(self):
+        report = run_lint(self._scheduler(SchedulePlanCache()), LintContext())
+        diags = report.by_rule("RT006")
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.WARNING
+        assert "invalidation" in diags[0].message
+        assert report.ok  # a warning, not an error
+
+    def test_rt006_bound_cache_clean(self):
+        class Owner:
+            pass
+
+        owner = Owner()
+        cache = SchedulePlanCache()
+        cache.bind_invalidation(owner)
+        report = run_lint(self._scheduler(cache), LintContext())
+        assert not report.by_rule("RT006")
+
+    def test_rt006_cacheless_scheduler_clean(self):
+        report = run_lint(self._scheduler(None), LintContext())
+        assert not report.by_rule("RT006")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,314 @@
+"""Schedule-plan cache: unit behavior and golden runtime determinism.
+
+The contract under test is twofold: the cache is a *pure* memo (seeded
+runs are bit-identical with it on or off — latencies, power bins, and
+the traced obs event stream, including chaos runs with failover
+replans), and it actually works (warm runs serve hits, invalidation
+drops exactly the stale graph's entries).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import chain_graph, small_kernel
+from repro import apps as apps_mod
+from repro import runtime
+from repro.faults.events import FaultSchedule
+from repro.obs import MetricsRegistry, SpanTracer
+from repro.scheduler import (
+    KernelGraph,
+    PolyScheduler,
+    SchedulePlanCache,
+    StaticScheduler,
+)
+from repro.scheduler.plan_cache import clear_plan_cache, plan_cache
+
+from test_scheduler import _devices, _diamond_graph, _diamond_spaces
+
+NOISE_SIGMA = 0.02
+
+
+@pytest.fixture()
+def cache():
+    return SchedulePlanCache(max_entries=8)
+
+
+def _schedule_once(cache, bound=400.0, avail=(0.0, 0.0)):
+    graph = _diamond_graph()
+    devices = _devices()
+    for d, a in zip(devices, avail):
+        d.available_at_ms = a
+    scheduler = PolyScheduler(_diamond_spaces(), bound, plan_cache=cache)
+    schedule, steps = scheduler.schedule(graph, devices)
+    return graph, devices, scheduler, schedule, steps
+
+
+class TestCacheUnit:
+    def test_miss_then_hit_returns_same_plan(self, cache):
+        graph, devices, scheduler, schedule, steps = _schedule_once(cache)
+        assert cache.stats()["misses"] == 1
+        again, again_steps = scheduler.schedule(graph, devices)
+        assert cache.stats()["hits"] == 1
+        assert again is schedule
+        assert again_steps == steps
+
+    def test_min_latency_schedule_shares_entries(self, cache):
+        graph = _diamond_graph()
+        devices = _devices()
+        scheduler = PolyScheduler(
+            _diamond_spaces(), 400.0, plan_cache=cache
+        )
+        first = scheduler.min_latency_schedule(graph, devices)
+        # Same key as schedule(optimize_energy=False): a hit, no steps.
+        second, steps = scheduler.schedule(
+            graph, devices, optimize_energy=False
+        )
+        assert second is first
+        assert steps == []
+        assert cache.stats()["hits"] == 1
+
+    def test_exact_avail_mismatch_is_miss_and_refresh(self, cache):
+        # 0.1 ms lands in the same 0.25 ms quantization bucket as 0.0,
+        # but bit-identity demands an exact match: recompute + refresh.
+        _schedule_once(cache, avail=(0.0, 0.0))
+        _schedule_once(cache, avail=(0.1, 0.0))
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 2
+        assert stats["size"] == 1  # refreshed in place, not duplicated
+        # The refreshed entry serves the new exact state.
+        _schedule_once(cache, avail=(0.1, 0.0))
+        assert cache.stats()["hits"] == 1
+
+    def test_different_bucket_is_separate_entry(self, cache):
+        _schedule_once(cache, avail=(0.0, 0.0))
+        _schedule_once(cache, avail=(10.0, 0.0))
+        assert cache.stats()["size"] == 2
+
+    def test_lru_eviction(self):
+        tiny = SchedulePlanCache(max_entries=2)
+        for i in range(4):
+            _schedule_once(tiny, avail=(10.0 * i, 0.0))
+        stats = tiny.stats()
+        assert stats["size"] == 2
+        assert stats["evictions"] == 2
+        # Oldest states were evicted; the two most recent still hit.
+        _schedule_once(tiny, avail=(30.0, 0.0))
+        assert tiny.stats()["hits"] == 1
+
+    def test_invalidate_by_signature(self, cache):
+        graph, devices, scheduler, _, _ = _schedule_once(cache)
+        other = chain_graph(n=2)
+        assert cache.invalidate(other.structural_signature()) == 0
+        assert cache.invalidate(graph.structural_signature()) == 1
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_invalidate_all(self, cache):
+        _schedule_once(cache, avail=(0.0, 0.0))
+        _schedule_once(cache, avail=(10.0, 0.0))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_structural_signature_tracks_topology(self):
+        a, b = chain_graph(n=3), chain_graph(n=3)
+        assert a.structural_signature() == b.structural_signature()
+        c = chain_graph(n=3)
+        c.add_kernel(small_kernel("tail", elements=128))
+        c.connect("K2", "tail")
+        assert c.structural_signature() != a.structural_signature()
+
+    def test_bind_metrics_mirrors_counters(self, cache):
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry)
+        _schedule_once(cache)
+        _schedule_once(cache)
+        assert registry.value("plan_cache_misses_total") == 1
+        assert registry.value("plan_cache_hits_total") == 1
+        cache.bind_metrics(None)
+        _schedule_once(cache)
+        assert registry.value("plan_cache_hits_total") == 1  # detached
+
+    def test_invalidation_hook_bookkeeping(self, cache):
+        class Owner:
+            pass
+
+        owner = Owner()
+        assert not cache.has_invalidation_hook
+        cache.bind_invalidation(owner)
+        assert cache.has_invalidation_hook
+        assert cache.bound_to(owner)
+        assert not cache.bound_to(Owner())
+
+    def test_clear_resets_counters_keeps_hooks(self, cache):
+        class Owner:
+            pass
+
+        owner = Owner()
+        cache.bind_invalidation(owner)
+        _schedule_once(cache)
+        cache.clear()
+        stats = cache.stats()
+        assert stats["misses"] == 0 and stats["size"] == 0
+        assert cache.has_invalidation_hook
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SchedulePlanCache(max_entries=0)
+        with pytest.raises(ValueError, match="quantization"):
+            SchedulePlanCache(avail_quant_ms=0.0)
+
+    def test_module_cache_clear_helper(self):
+        _schedule_once(plan_cache)
+        assert len(plan_cache) > 0
+        clear_plan_cache()
+        assert len(plan_cache) == 0
+
+
+class TestStaticSchedulerPolicyIsolation:
+    def test_two_graphs_keep_their_frozen_policies(self):
+        """Regression: interleaving a second application through one
+        StaticScheduler must not clobber the first one's offline
+        max-efficiency/min-latency decision."""
+        spaces = _diamond_spaces()
+        scheduler = StaticScheduler(spaces, 500.0)
+        diamond = _diamond_graph()
+        first = scheduler.schedule(diamond, _devices())
+
+        # A serial chain over the same kernels busts 60% of the bound at
+        # zero load, freezing the *other* policy (min-latency).
+        serial = KernelGraph("serial")
+        for i in range(1, 5):
+            serial.add_kernel(small_kernel(f"K{i}", elements=256))
+        for a, b in (("K1", "K2"), ("K2", "K3"), ("K3", "K4")):
+            serial.connect(a, b, nbytes=1024)
+        scheduler.schedule(serial, _devices())
+        assert (
+            scheduler._fixed_choice["diamond"]
+            != scheduler._fixed_choice["serial"]
+        )
+
+        replay = scheduler.schedule(diamond, _devices())
+        assert [
+            (a.kernel_name, a.point.index, a.device_id) for a in first
+        ] == [
+            (a.kernel_name, a.point.index, a.device_id) for a in replay
+        ]
+
+    def test_policy_frozen_per_graph_name(self):
+        spaces = _diamond_spaces()
+        scheduler = StaticScheduler(spaces, 1_000.0)
+        scheduler.schedule(_diamond_graph(), _devices())
+        small = KernelGraph("tiny")
+        small.add_kernel(small_kernel("K1", elements=256))
+        scheduler.schedule(small, _devices())
+        assert set(scheduler._fixed_choice) == {"diamond", "tiny"}
+
+
+def _sim(app, system, spaces, arrivals, seed=3, **kw):
+    return runtime.run_simulation(system, app, spaces, arrivals, seed=seed, **kw)
+
+
+@pytest.fixture(scope="module")
+def asr_setting():
+    system = runtime.setting("I", "Heter-Poly")
+    app = apps_mod.build("ASR")
+    spaces = app.explore(system.platforms)
+    arrivals = runtime.poisson_arrivals(
+        60.0, 2_000.0, rng=np.random.default_rng(3)
+    )
+    return system, app, spaces, arrivals
+
+
+class TestGoldenDeterminism:
+    def test_cache_on_off_bit_identical(self, asr_setting):
+        system, app, spaces, arrivals = asr_setting
+        base = _sim(app, system, spaces, arrivals)
+        cache = SchedulePlanCache()
+        cold = _sim(app, system, spaces, arrivals, plan_cache=cache)
+        warm = _sim(app, system, spaces, arrivals, plan_cache=cache)
+        for run in (cold, warm):
+            assert [r.latency_ms for r in base.requests] == [
+                r.latency_ms for r in run.requests
+            ]
+            assert np.array_equal(base.power_bins_w, run.power_bins_w)
+        assert cache.stats()["hits"] > 0
+
+    def test_static_system_bit_identical(self):
+        system = runtime.setting("I", "Homo-GPU")
+        app = apps_mod.build("WT")
+        spaces = app.explore(system.platforms)
+        arrivals = runtime.poisson_arrivals(
+            40.0, 1_500.0, rng=np.random.default_rng(5)
+        )
+        base = _sim(app, system, spaces, arrivals, seed=5)
+        cached = _sim(
+            app, system, spaces, arrivals, seed=5,
+            plan_cache=SchedulePlanCache(),
+        )
+        assert [r.latency_ms for r in base.requests] == [
+            r.latency_ms for r in cached.requests
+        ]
+        assert np.array_equal(base.power_bins_w, cached.power_bins_w)
+
+    def test_traced_event_stream_identical(self, asr_setting):
+        system, app, spaces, arrivals = asr_setting
+        t0, t1 = SpanTracer(), SpanTracer()
+        _sim(app, system, spaces, arrivals, tracer=t0)
+        _sim(
+            app, system, spaces, arrivals, tracer=t1,
+            plan_cache=SchedulePlanCache(),
+        )
+        assert t0.events == t1.events
+
+    def test_chaos_run_identical_and_invalidates(self, asr_setting):
+        """Fault/recovery transitions replan through the cache: same
+        events (including failovers), same latencies/power, and the
+        invalidation hook actually fires."""
+        system, app, spaces, arrivals = asr_setting
+        schedule = FaultSchedule.from_mtbf(
+            [d for d, _ in system.device_inventory()],
+            duration_ms=2_000.0,
+            mtbf_ms=900.0,
+            mttr_ms=400.0,
+            seed=11,
+        )
+        t0, t1 = SpanTracer(), SpanTracer()
+        base = _sim(app, system, spaces, arrivals, faults=schedule, tracer=t0)
+        cache = SchedulePlanCache()
+        cached = _sim(
+            app, system, spaces, arrivals, faults=schedule, tracer=t1,
+            plan_cache=cache,
+        )
+        assert t0.events == t1.events
+        assert [r.latency_ms for r in base.requests] == [
+            r.latency_ms for r in cached.requests
+        ]
+        assert np.array_equal(base.power_bins_w, cached.power_bins_w)
+        assert cache.stats()["invalidations"] > 0
+
+    def test_node_binds_invalidation_hook(self, asr_setting):
+        system, app, spaces, _ = asr_setting
+        cache = SchedulePlanCache()
+        node = runtime.LeafNode(system, app, spaces, plan_cache=cache)
+        assert cache.bound_to(node)
+
+
+class TestNoiseBuffer:
+    def test_buffered_draws_match_scalar_stream(self):
+        """Vectorized lognormal refills replay the exact scalar stream
+        (the bit-identity contract's only RNG-order dependency)."""
+        n = 5_000  # spans multiple 2048-sized refills
+        scalar_rng = np.random.default_rng(123)
+        expect = [scalar_rng.lognormal(0.0, NOISE_SIGMA) for _ in range(n)]
+        buf_rng = np.random.default_rng(123)
+        got = []
+        buf = np.empty(0)
+        pos = 0
+        for _ in range(n):
+            if pos >= len(buf):
+                buf = buf_rng.lognormal(0.0, NOISE_SIGMA, size=2048)
+                pos = 0
+            got.append(float(buf[pos]))
+            pos += 1
+        assert got == expect
