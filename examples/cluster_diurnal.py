@@ -1,0 +1,92 @@
+"""Replay a 24-hour diurnal trace against an elastic fleet.
+
+Synthesizes a Google-cluster-style utilization trace and replays it
+(time-compressed) against a fleet of Heter-Poly leaf nodes behind the
+power-of-two-choices dispatcher and the elastic autoscaler, then prints
+the scaling timeline, the hourly fleet-size profile, fleet tail latency
+and the monthly TCO / cost efficiency.
+
+Usage::
+
+    python examples/cluster_diurnal.py
+"""
+
+import numpy as np
+
+from repro import apps, runtime
+from repro.cluster import AutoscalerConfig, ClusterSimulation
+
+
+def main(
+    hours: float = 24.0,
+    interval_s: float = 300.0,
+    compress: float = 200.0,
+    peak_factor: float = 2.5,
+    max_nodes: int = 8,
+    seed: int = 0,
+) -> None:
+    trace = runtime.synthesize_google_trace(hours=hours, interval_s=interval_s)
+    print(
+        f"trace: {len(trace.utilization)} x {trace.interval_s:.0f} s intervals, "
+        f"mean utilization {trace.mean_utilization:.2f}, "
+        f"replayed {compress:g}x compressed"
+    )
+
+    app = apps.build("ASR")
+    system = runtime.setting("I", "Heter-Poly")
+    spaces = app.explore(system.platforms)
+    config = AutoscalerConfig(min_nodes=1, max_nodes=max_nodes)
+    sim = ClusterSimulation(system, app, spaces, config=config, seed=seed)
+    peak_rps = sim._template_capacity(system) * peak_factor
+    result = sim.replay(trace, peak_rps=peak_rps, compress=compress)
+
+    print(f"\nscaling timeline (peak load {peak_rps:.1f} rps):")
+    for e in result.timeline:
+        print(
+            f"  t={e.t_ms / 1000.0:7.1f}s {e.action:9s} {e.node_id:7s} "
+            f"{e.reason:15s} -> {e.fleet_size} node(s)"
+        )
+
+    # Hourly fleet-size profile: mean serving nodes per hour of trace time.
+    per_hour_intervals = max(int(round(3600.0 / interval_s)), 1)
+    sizes = np.asarray(
+        [iv.n_serving for iv in result.intervals], dtype=float
+    )
+    n_hours = len(sizes) // per_hour_intervals
+    if n_hours:
+        print("\nhourly mean fleet size:")
+        hourly = sizes[: n_hours * per_hour_intervals].reshape(
+            n_hours, per_hour_intervals
+        ).mean(axis=1)
+        for hour, size in enumerate(hourly):
+            print(f"  {hour:02d}:00  {size:5.2f}  " + "#" * int(round(size * 4)))
+
+    served = sum(1 for r in result.requests if r.served)
+    up, down = result.scale_up_lags_ms, result.scale_down_lags_ms
+    print(
+        f"\nfleet: {result.mean_fleet_size:.2f} nodes mean, "
+        f"{result.launches} launch(es), {result.terminations} termination(s)"
+    )
+    print(
+        f"requests: {len(result.requests)} "
+        f"({served / len(result.requests) * 100:.2f}% served, "
+        f"{result.served_rps:.1f} rps)"
+    )
+    print(
+        f"latency: p50 {result.p50_ms:.1f} ms, p99 {result.p99_ms:.1f} ms "
+        f"(QoS {result.qos_ms:g} ms met in "
+        f"{result.qos_ok_frac() * 100:.0f}% of intervals)"
+    )
+    if up:
+        print(f"scale-up lag: {result.scale_up_lag_ms:.0f} ms mean")
+    if down:
+        print(f"scale-down lag: {result.scale_down_lag_ms:.0f} ms mean")
+    print(
+        f"power: {result.fleet_avg_power_w:.1f} W fleet average\n"
+        f"cost: {result.monthly_tco_usd():.2f} USD/month "
+        f"-> {result.cost_efficiency():.4f} rps/USD"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -270,8 +270,76 @@ def _bench_sched(app, system, spaces, trials: int, seed: int) -> Dict:
     }
 
 
+#: Mini diurnal utilization profile for the cluster bench: one
+#: compressed rise-peak-fall swing that forces the autoscaler through a
+#: full scale-up *and* scale-down episode per trial.
+_CLUSTER_PROFILE = (0.15, 0.3, 0.6, 0.9, 0.95, 0.7, 0.4, 0.15, 0.1, 0.1)
+_CLUSTER_INTERVAL_S = 9.0
+#: Offered peak load as a multiple of one node's sustained capacity
+#: (>1 so a single node cannot absorb the peak).
+_CLUSTER_PEAK_FACTOR = 2.5
+
+
+def _bench_cluster(app, system, spaces, trials: int, seed: int) -> Dict:
+    """Time one fleet replay of the mini diurnal profile.
+
+    Each trial drives a fresh :class:`~repro.cluster.ClusterSimulation`
+    (an instance runs once) over the same seeded arrival stream, so
+    every trial reproduces the identical routing/scaling decisions and
+    wall-clock is the only variable.  The emitted section carries the
+    fleet-level quality metrics the baseline gate and trend tooling
+    track: served throughput, fleet p99, QoS-interval fraction, and the
+    scale-up/scale-down lags (``None`` when the replay had no such
+    episode — absent episodes are not zero-lag episodes).
+    """
+    from ..cluster import AutoscalerConfig, ClusterSimulation
+    from ..runtime.trace import UtilizationTrace
+
+    trace = UtilizationTrace(
+        _CLUSTER_PROFILE, _CLUSTER_INTERVAL_S, name="bench-mini-diurnal"
+    )
+    config = AutoscalerConfig(min_nodes=1, max_nodes=6)
+
+    def build():
+        return ClusterSimulation(
+            system, app, spaces, config=config, seed=seed
+        )
+
+    peak_rps = build()._template_capacity(system) * _CLUSTER_PEAK_FACTOR
+    result = None
+
+    def one() -> None:
+        nonlocal result
+        result = build().replay(trace, peak_rps=peak_rps)
+
+    trial_s = _timed_trials(one, trials)
+    assert result is not None
+    up_lag = result.scale_up_lag_ms
+    down_lag = result.scale_down_lag_ms
+    return {
+        "trial_s": trial_s,
+        "median_s": statistics.median(trial_s),
+        "cold_s": trial_s[0],
+        "requests": len(result.requests),
+        "peak_rps": round(peak_rps, 3),
+        "served_rps": round(result.served_rps, 3),
+        "p99_ms": round(result.p99_ms, 3),
+        "qos_ok_frac": round(result.qos_ok_frac(), 4),
+        "mean_fleet": round(result.mean_fleet_size, 4),
+        "launches": result.launches,
+        "terminations": result.terminations,
+        "scale_up_lag_ms": (
+            round(up_lag, 3) if result.scale_up_lags_ms else None
+        ),
+        "scale_down_lag_ms": (
+            round(down_lag, 3) if result.scale_down_lags_ms else None
+        ),
+        "cost_efficiency": round(result.cost_efficiency(), 6),
+    }
+
+
 #: Section sets per bench suite.
-_SUITES = ("full", "sched")
+_SUITES = ("full", "sched", "cluster")
 
 
 def run_bench(
@@ -289,8 +357,9 @@ def run_bench(
     """Run the harness; returns the BENCH document as a dict.
 
     ``suite`` selects the sections: ``"full"`` runs DSE + scheduler +
-    simulation + sched (everything), ``"sched"`` runs only the runtime
-    sched benchmark (plan-cache on/off throughput).
+    simulation + sched + cluster (everything), ``"sched"`` runs only
+    the runtime sched benchmark (plan-cache on/off throughput), and
+    ``"cluster"`` runs only the fleet replay benchmark.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -325,7 +394,10 @@ def run_bench(
             row["simulation"] = _bench_simulation(
                 app, system, spaces, trials, rps, duration_ms, seed
             )
-        row["sched"] = _bench_sched(app, system, spaces, trials, seed)
+        if suite in ("full", "sched"):
+            row["sched"] = _bench_sched(app, system, spaces, trials, seed)
+        if suite in ("full", "cluster"):
+            row["cluster"] = _bench_cluster(app, system, spaces, trials, seed)
         doc["apps"][name] = row
     return doc
 
@@ -369,5 +441,17 @@ def render_bench(doc: Dict) -> str:
                 f"({s['speedup']:.2f}x, {high['requests']} reqs, "
                 f"plan cache {high['plan_cache']['hit_rate']*100:.0f}% hits, "
                 f"identical={high['identical']})"
+            )
+        if "cluster" in row:
+            c = row["cluster"]
+            up = c["scale_up_lag_ms"]
+            down = c["scale_down_lag_ms"]
+            lines.append(
+                f"  {name:4s} cluster {c['median_s']*1000:8.1f} ms "
+                f"({c['requests']} reqs @ {c['served_rps']:.1f} rps, "
+                f"p99 {c['p99_ms']:.1f} ms, fleet {c['mean_fleet']:.1f}, "
+                f"qos-ok {c['qos_ok_frac']*100:.0f}%, "
+                f"lag up {f'{up:.0f} ms' if up is not None else 'n/a'} / "
+                f"down {f'{down:.0f} ms' if down is not None else 'n/a'})"
             )
     return "\n".join(lines)

@@ -35,18 +35,30 @@ Commands
     violations and failover/recovery statistics.  The schedule and
     retry policy are linted (RT004/RT005) before the run.
 
-``bench [--app NAME] [--suite full|sched] [--trials 3] [--n-jobs 1]
-        [--label L] [--check BASELINE] [--max-ratio 2.0]
+``cluster [--app ASR] [--system NAME ...] [--hours 24] [--compress 200]
+        [--min-nodes 1] [--max-nodes 8] [--timeline] [--json]``
+    Fleet replay: simulate a cluster of leaf nodes behind the
+    power-of-two-choices dispatcher and the elastic autoscaler over a
+    synthesized diurnal utilization trace, and report fleet tail
+    latency, QoS-interval fraction, the scaling timeline, scale-up/down
+    lag, fleet power and monthly TCO / cost efficiency.  Repeat
+    ``--system`` to rotate launches through heterogeneous node
+    templates.  The autoscaler config is linted (RT007) before the run.
+
+``bench [--app NAME] [--suite full|sched|cluster] [--trials 3]
+        [--n-jobs 1] [--label L] [--check BASELINE] [--max-ratio 2.0]
         [--min-sched-speedup X]``
     Deterministic performance benchmark: time per-app DSE (cold and
-    cache-warm), the two-step scheduler, a fixed seeded simulation and
-    the runtime ``sched`` suite (steady-state throughput with the
-    schedule-plan cache on vs off, bit-identical results) over repeated
-    trials; write ``BENCH_<label>.json``.  ``--suite sched`` runs only
-    the runtime suite.  ``--check`` gates the run against a baseline
-    document (CI's ``perf-smoke`` job) and exits nonzero on a
-    >``--max-ratio`` normalized regression; ``--min-sched-speedup``
-    additionally fails when the warm plan-cached speedup drops below X.
+    cache-warm), the two-step scheduler, a fixed seeded simulation, the
+    runtime ``sched`` suite (steady-state throughput with the
+    schedule-plan cache on vs off, bit-identical results) and the
+    ``cluster`` fleet replay (mini diurnal profile: throughput, p99,
+    scale lag) over repeated trials; write ``BENCH_<label>.json``.
+    ``--suite sched``/``--suite cluster`` run only that suite.
+    ``--check`` gates the run against a baseline document (CI's
+    ``perf-smoke`` job) and exits nonzero on a >``--max-ratio``
+    normalized regression; ``--min-sched-speedup`` additionally fails
+    when the warm plan-cached speedup drops below X.
 
 ``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
         [--summary] [--crash DEV@MS] [--recover DEV@MS]``
@@ -420,6 +432,143 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from .cluster import AutoscalerConfig, ClusterSimulation
+    from .runtime.trace import synthesize_google_trace
+
+    name = (args.app or "ASR").upper()
+    if name not in apps_mod.APP_BUILDERS:
+        print(
+            f"unknown app {name!r}; choose from {sorted(apps_mod.APP_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = AutoscalerConfig(
+        min_nodes=args.min_nodes,
+        max_nodes=args.max_nodes,
+        eval_interval_ms=args.eval_ms,
+        scale_up_utilization=args.up_util,
+        scale_down_utilization=args.down_util,
+        target_utilization=args.target_util,
+        warmup_ms=args.warmup_ms,
+    )
+    # RT007 admission gate: reject non-convergent configs before the
+    # replay is paid for (same pattern as the faults command).
+    gate = run_lint(config, LintContext())
+    for diag in gate:
+        print(f"  {diag.render()}", file=sys.stderr)
+    if not gate.ok:
+        return 1
+
+    systems = args.system or ["Heter-Poly"]
+    templates = [runtime.setting(args.setting, s) for s in systems]
+    app = apps_mod.build(name)
+    platforms = tuple(
+        dict.fromkeys(p for t in templates for p in t.platforms)
+    )
+    spaces = app.explore(platforms)
+    trace = synthesize_google_trace(
+        hours=args.hours, interval_s=args.interval_s, seed=args.trace_seed
+    )
+    sim = ClusterSimulation(
+        templates, app, spaces, config=config, seed=args.seed
+    )
+    peak_rps = args.peak_rps
+    if peak_rps is None:
+        capacity = sum(sim._template_capacity(t) for t in templates) / len(
+            templates
+        )
+        peak_rps = capacity * args.peak_factor
+    result = sim.replay(trace, peak_rps=peak_rps, compress=args.compress)
+
+    served = sum(1 for r in result.requests if r.served)
+    sizes = [e.fleet_size for e in result.timeline]
+    up, down = result.scale_up_lags_ms, result.scale_down_lags_ms
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "app": name,
+                    "setting": args.setting,
+                    "systems": systems,
+                    "hours": args.hours,
+                    "compress": args.compress,
+                    "peak_rps": round(peak_rps, 3),
+                    "requests": len(result.requests),
+                    "served": served,
+                    "served_rps": round(result.served_rps, 3),
+                    "p50_ms": round(result.p50_ms, 3),
+                    "p99_ms": round(result.p99_ms, 3),
+                    "qos_ms": result.qos_ms,
+                    "qos_ok_frac": round(result.qos_ok_frac(), 4),
+                    "violation_ratio": round(result.violation_ratio, 4),
+                    "mean_fleet": round(result.mean_fleet_size, 4),
+                    "launches": result.launches,
+                    "terminations": result.terminations,
+                    "scale_up_lag_ms": round(result.scale_up_lag_ms, 3)
+                    if up
+                    else None,
+                    "scale_down_lag_ms": round(result.scale_down_lag_ms, 3)
+                    if down
+                    else None,
+                    "fleet_avg_power_w": round(result.fleet_avg_power_w, 3),
+                    "monthly_tco_usd": round(result.monthly_tco_usd(), 2),
+                    "cost_efficiency": round(result.cost_efficiency(), 6),
+                    "timeline": [
+                        {
+                            "t_ms": e.t_ms,
+                            "action": e.action,
+                            "node": e.node_id,
+                            "reason": e.reason,
+                            "fleet_size": e.fleet_size,
+                        }
+                        for e in result.timeline
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{name} fleet of {'+'.join(systems)} (Setting-{args.setting}), "
+        f"{args.hours:g} h diurnal trace compressed {args.compress:g}x, "
+        f"peak {peak_rps:.1f} rps"
+    )
+    print(
+        f"  requests : {len(result.requests)} "
+        f"({served / len(result.requests) * 100:.2f} % served, "
+        f"{result.served_rps:.1f} rps)"
+    )
+    print(
+        f"  latency  : p50 {result.p50_ms:.1f} ms  p99 {result.p99_ms:.1f} ms "
+        f"(QoS {result.qos_ms:g} ms met in "
+        f"{result.qos_ok_frac() * 100:.0f} % of intervals)"
+    )
+    print(
+        f"  fleet    : {min(sizes)}..{max(sizes)} nodes "
+        f"(mean {result.mean_fleet_size:.2f}), "
+        f"{result.launches} launch(es), {result.terminations} termination(s)"
+    )
+    up_txt = f"{result.scale_up_lag_ms:.0f} ms" if up else "n/a"
+    down_txt = f"{result.scale_down_lag_ms:.0f} ms" if down else "n/a"
+    print(f"  lag      : scale-up {up_txt} / scale-down {down_txt}")
+    print(
+        f"  power    : {result.fleet_avg_power_w:.1f} W fleet average"
+    )
+    print(
+        f"  cost     : {result.monthly_tco_usd():.2f} USD/month, "
+        f"{result.cost_efficiency():.4f} rps/USD"
+    )
+    if args.timeline:
+        print("  timeline :")
+        for e in result.timeline:
+            print(
+                f"    t={e.t_ms / 1000.0:8.1f}s {e.action:9s} "
+                f"{e.node_id:7s} {e.reason:15s} -> {e.fleet_size}"
+            )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .benchref import (
         compare_to_baseline,
@@ -587,6 +736,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
+        "cluster", help="fleet replay: dispatcher + autoscaler over a trace"
+    )
+    p.add_argument("--app", help="benchmark short name (default ASR)")
+    p.add_argument("--setting", default="I", choices=("I", "II", "III"))
+    p.add_argument(
+        "--system",
+        action="append",
+        choices=("Homo-GPU", "Homo-FPGA", "Heter-Poly"),
+        help="node template (repeatable for a heterogeneous fleet); "
+        "launches rotate through the given templates",
+    )
+    p.add_argument("--hours", type=float, default=24.0, help="trace length")
+    p.add_argument(
+        "--interval-s", type=float, default=300.0, help="trace interval"
+    )
+    p.add_argument(
+        "--compress",
+        type=float,
+        default=200.0,
+        help="time-compression factor for the replay "
+        "(200 turns a 300 s trace interval into 1.5 s of simulated time)",
+    )
+    p.add_argument(
+        "--peak-rps",
+        type=float,
+        default=None,
+        help="offered load at 100%% trace utilization "
+        "(default: --peak-factor x one node's capacity)",
+    )
+    p.add_argument(
+        "--peak-factor",
+        type=float,
+        default=2.5,
+        help="derive the peak load as this multiple of one node's capacity",
+    )
+    p.add_argument("--min-nodes", type=int, default=1)
+    p.add_argument("--max-nodes", type=int, default=8)
+    p.add_argument(
+        "--eval-ms",
+        type=float,
+        default=1_000.0,
+        help="autoscaler evaluation interval (simulated ms)",
+    )
+    p.add_argument(
+        "--warmup-ms",
+        type=float,
+        default=2_000.0,
+        help="launch-to-serving warm-up delay (simulated ms)",
+    )
+    p.add_argument("--up-util", type=float, default=0.85)
+    p.add_argument("--down-util", type=float, default=0.30)
+    p.add_argument("--target-util", type=float, default=0.60)
+    p.add_argument("--seed", type=int, default=0, help="cluster root seed")
+    p.add_argument(
+        "--trace-seed", type=int, default=2011, help="trace-synthesis seed"
+    )
+    p.add_argument(
+        "--timeline", action="store_true", help="print every scaling event"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser(
         "bench", help="deterministic DSE/scheduler/simulation benchmark"
     )
     p.add_argument(
@@ -615,9 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="full",
-        choices=("full", "sched"),
-        help="'full' = DSE+scheduler+simulation+sched, "
-        "'sched' = runtime plan-cache benchmark only",
+        choices=("full", "sched", "cluster"),
+        help="'full' = DSE+scheduler+simulation+sched+cluster, "
+        "'sched' = runtime plan-cache benchmark only, "
+        "'cluster' = fleet replay benchmark only",
     )
     p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
     p.add_argument(

@@ -1,0 +1,692 @@
+"""Fleet-scale simulation: heterogeneous leaf nodes behind a dispatcher
+and an elastic autoscaler.
+
+The paper evaluates Poly on a single leaf node; its framing —
+interactive datacenter services under a power cap with TCO as the end
+metric — is fleet-scale.  :class:`ClusterSimulation` closes that gap by
+simulating a datacenter of :class:`~repro.runtime.node.LeafNode`s:
+
+* nodes are instantiated from a rotation of **templates** (mixed
+  architectures in one fleet, à la heterogeneous-cloud deployment
+  optimization), each with its own child RNG stream spawned from the
+  root seed — node count and launch order never perturb another node's
+  noise stream, and single-node seeded runs stay bit-identical to the
+  pre-cluster simulator because ``run_simulation`` is untouched;
+* a :class:`~repro.cluster.dispatcher.ClusterDispatcher` routes each
+  arrival by power-of-two-choices over queue depth, plan-cache
+  locality and device health;
+* an :class:`~repro.cluster.scaling.Autoscaler` turns per-interval
+  demand into typed launch/terminate decisions with deterministic
+  warm-up delays;
+* the result aggregates fleet latency percentiles, QoS (ASR-target)
+  violations, a per-interval fleet power timeline, and TCO /
+  cost-efficiency through :meth:`repro.runtime.tco.TCOModel.for_fleet`.
+
+Everything is a pure function of ``(templates, app, arrivals, config,
+seed, fault schedules)``: two same-seed runs produce identical latency
+percentiles, scaling timelines, and obs event streams.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..apps.base import Application
+from ..obs.tracer import NULL_TRACER
+from ..optim.design_point import KernelDesignSpace
+from ..runtime.cluster import SystemConfig
+from ..runtime.metrics import percentile_latency
+from ..runtime.node import LeafNode, RequestRecord
+from ..runtime.simulation import _power_timeline
+from ..runtime.tco import TCOModel
+from ..runtime.trace import UtilizationTrace
+from .dispatcher import ClusterDispatcher
+from .scaling import (
+    Autoscaler,
+    AutoscalerConfig,
+    LaunchRequest,
+    SchedulingRequest,
+    TerminationRequest,
+)
+
+__all__ = [
+    "NodeState",
+    "ClusterNode",
+    "ScalingEvent",
+    "IntervalStats",
+    "ClusterResult",
+    "ClusterSimulation",
+]
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of one fleet node."""
+
+    WARMING = "warming"      # launched, not yet serving (boot + load)
+    SERVING = "serving"      # routable
+    TERMINATED = "terminated"
+
+
+@dataclass
+class ClusterNode:
+    """One leaf node in the fleet, with its cluster-level lifecycle."""
+
+    node_id: str
+    template: SystemConfig
+    leaf: LeafNode
+    launched_ms: float
+    ready_ms: float
+    state: NodeState = NodeState.WARMING
+    terminated_ms: Optional[float] = None
+    #: Graph signatures this node has already scheduled (the
+    #: dispatcher's plan-cache-locality signal).
+    planned_signatures: set = field(default_factory=set)
+    #: Consecutive autoscaler evaluations with an empty queue.
+    idle_evals: int = 0
+    served: int = 0
+
+    def queue_ms(self, now_ms: float) -> float:
+        """Bottleneck backlog a new arrival would queue behind."""
+        return max((d.backlog_ms(now_ms) for d in self.leaf.devices), default=0.0)
+
+    @property
+    def schedulable_fraction(self) -> float:
+        """Fraction of the node's accelerators a request can still use
+        (1.0 on a healthy node; driven by ``repro.faults`` states)."""
+        devices = self.leaf.devices
+        if not devices:
+            return 0.0
+        return sum(1 for d in devices if d.is_schedulable) / len(devices)
+
+    def active_span_ms(self, horizon_ms: float) -> Tuple[float, float]:
+        """The [launch, termination) window the node existed in."""
+        end = self.terminated_ms if self.terminated_ms is not None else horizon_ms
+        return self.launched_ms, min(end, horizon_ms)
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One fleet-size change in the scaling timeline."""
+
+    t_ms: float
+    action: str          # "launch" | "terminate"
+    node_id: str
+    reason: str          # "initial" | "scale_up" | TerminationReason name
+    fleet_size: int      # live nodes after the event
+
+
+@dataclass
+class IntervalStats:
+    """One autoscaler evaluation interval's fleet aggregates."""
+
+    t_ms: float
+    arrivals: int
+    demand_rps: float
+    utilization: float
+    n_serving: int
+    n_warming: int
+    launched: int
+    terminated: int
+    #: Latency aggregates of the requests that *arrived* in this
+    #: interval; NaN when none did (filled in post-run).
+    p50_ms: float = float("nan")
+    p99_ms: float = float("nan")
+    violations: float = float("nan")
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one fleet replay."""
+
+    app: str
+    qos_ms: float
+    duration_ms: float
+    interval_ms: float
+    requests: List[RequestRecord]
+    #: Node that served each request (parallel to ``requests``).
+    node_ids: List[str]
+    intervals: List[IntervalStats]
+    timeline: List[ScalingEvent]
+    power_bins_w: np.ndarray
+    #: Template codename -> time-weighted mean node count.
+    fleet_node_months: Dict[str, float]
+    scale_up_lags_ms: List[float]
+    scale_down_lags_ms: List[float]
+    nodes: List[ClusterNode] = field(default_factory=list, repr=False)
+
+    # -- latency --------------------------------------------------------------
+
+    def latencies_ms(self) -> List[float]:
+        return [r.latency_ms for r in self.requests if r.served]
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile_latency(self.latencies_ms(), 50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile_latency(self.latencies_ms(), 99.0)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        lats = self.latencies_ms()
+        return sum(lats) / len(lats) if lats else float("nan")
+
+    @property
+    def violation_ratio(self) -> float:
+        lats = self.latencies_ms()
+        if not lats:
+            return float("nan")
+        return sum(1 for lat in lats if lat > self.qos_ms) / len(lats)
+
+    def qos_ok_frac(self, bound_ms: Optional[float] = None) -> float:
+        """Fraction of intervals (with traffic) whose p99 met the ASR
+        target — the autoscaler-tracking acceptance metric."""
+        bound = self.qos_ms if bound_ms is None else bound_ms
+        active = [iv for iv in self.intervals if iv.arrivals > 0]
+        if not active:
+            return float("nan")
+        ok = sum(1 for iv in active if iv.p99_ms <= bound)
+        return ok / len(active)
+
+    # -- throughput and fleet shape -------------------------------------------
+
+    @property
+    def served_rps(self) -> float:
+        n = sum(1 for r in self.requests if r.served)
+        return n * 1000.0 / self.duration_ms if self.duration_ms > 0 else 0.0
+
+    @property
+    def mean_fleet_size(self) -> float:
+        return sum(self.fleet_node_months.values())
+
+    @property
+    def launches(self) -> int:
+        return sum(1 for e in self.timeline if e.action == "launch")
+
+    @property
+    def terminations(self) -> int:
+        return sum(1 for e in self.timeline if e.action == "terminate")
+
+    def fleet_size_at(self, t_ms: float) -> int:
+        """Live nodes at a timeline instant (for plotting/tests)."""
+        size = 0
+        for event in self.timeline:
+            if event.t_ms > t_ms:
+                break
+            size = event.fleet_size
+        return size
+
+    @property
+    def scale_up_lag_ms(self) -> float:
+        lags = self.scale_up_lags_ms
+        return sum(lags) / len(lags) if lags else float("nan")
+
+    @property
+    def scale_down_lag_ms(self) -> float:
+        lags = self.scale_down_lags_ms
+        return sum(lags) / len(lags) if lags else float("nan")
+
+    # -- power and cost -------------------------------------------------------
+
+    @property
+    def fleet_avg_power_w(self) -> float:
+        return float(np.mean(self.power_bins_w)) if len(self.power_bins_w) else 0.0
+
+    def monthly_tco_usd(self, model: Optional[TCOModel] = None) -> float:
+        """Fleet TCO: per-template fixed costs amortized at the
+        time-weighted node count, energy at the measured fleet power."""
+        model = model or TCOModel()
+        by_codename = {n.template.codename: n.template for n in self.nodes}
+        fixed = 0.0
+        for codename, node_months in sorted(self.fleet_node_months.items()):
+            fleet = model.for_fleet(by_codename[codename], node_months)
+            fixed += fleet.monthly_fixed_usd()
+        return fixed + model.monthly_energy_usd(self.fleet_avg_power_w)
+
+    def cost_efficiency(self, model: Optional[TCOModel] = None) -> float:
+        """Fig.-14-style metric at fleet scale: served RPS per monthly
+        TCO dollar."""
+        return self.served_rps / self.monthly_tco_usd(model)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterResult {self.app}: {len(self.requests)} reqs on "
+            f"{self.mean_fleet_size:.1f} mean nodes, p99 {self.p99_ms:.1f} ms, "
+            f"{self.launches} launches / {self.terminations} terminations>"
+        )
+
+
+class ClusterSimulation:
+    """Drive a heterogeneous fleet through one arrival stream.
+
+    ``templates`` is the node-architecture rotation (a single
+    :class:`SystemConfig` or a sequence — launches cycle through it);
+    ``design_spaces`` must cover every template's platforms (explore the
+    union of platforms once).  ``fault_schedules`` optionally attaches a
+    :class:`~repro.faults.events.FaultSchedule` to named nodes
+    (``"node0"`` is the first launched), turning the replay into a
+    fleet chaos experiment the dispatcher's health scoring reacts to.
+    """
+
+    def __init__(
+        self,
+        templates: Union[SystemConfig, Sequence[SystemConfig]],
+        app: Application,
+        design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
+        config: Optional[AutoscalerConfig] = None,
+        seed: int = 0,
+        tracer=None,
+        metrics=None,
+        fault_schedules: Optional[Mapping[str, object]] = None,
+        locality_penalty_ms: float = 5.0,
+        health_penalty_ms: float = 50.0,
+        replan_interval_ms: float = 250.0,
+    ) -> None:
+        if isinstance(templates, SystemConfig):
+            templates = [templates]
+        if not templates:
+            raise ValueError("need at least one node template")
+        self.templates = list(templates)
+        self.app = app
+        self.design_spaces = design_spaces
+        self.config = config or AutoscalerConfig()
+        if self.config.eval_interval_ms <= 0:
+            raise ValueError(
+                "eval_interval_ms must be positive (lint rule RT007)"
+            )
+        if self.config.min_nodes > self.config.max_nodes:
+            raise ValueError(
+                "min_nodes exceeds max_nodes (lint rule RT007)"
+            )
+        if self.config.min_nodes < 1:
+            raise ValueError("a fleet needs min_nodes >= 1")
+        self.seed = seed
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+        self.autoscaler = Autoscaler(self.config)
+        self.dispatcher = ClusterDispatcher(
+            self._child_rng(0, 0),
+            tracer=self.tracer,
+            locality_penalty_ms=locality_penalty_ms,
+            health_penalty_ms=health_penalty_ms,
+        )
+        self.replan_interval_ms = replan_interval_ms
+        self._fault_schedules = dict(fault_schedules or {})
+        self._signature = app.graph.structural_signature()
+        self._nodes: List[ClusterNode] = []
+        self._launch_count = 0
+        self._timeline: List[ScalingEvent] = []
+        self._capacity_cache: Dict[str, float] = {}
+
+    # -- RNG streams ----------------------------------------------------------
+
+    def _child_rng(self, stream: int, index: int) -> np.random.Generator:
+        """A child generator spawned from the root seed.
+
+        Streams are keyed, not drawn in launch order: node ``i`` always
+        gets the same stream no matter when the autoscaler launched it,
+        and the dispatcher/arrival streams never alias a node stream.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(stream, index))
+        )
+
+    def arrival_rng(self) -> np.random.Generator:
+        """The arrival-stream child generator (stream 1)."""
+        return self._child_rng(1, 0)
+
+    # -- fleet bookkeeping ----------------------------------------------------
+
+    def _template_capacity(self, template: SystemConfig) -> float:
+        """Sustained per-node throughput of one template: a healthy
+        probe node's plan capacity (a pure model quantity — identical
+        across machines, so scaling decisions are machine-independent)."""
+        cached = self._capacity_cache.get(template.codename)
+        if cached is None:
+            probe = LeafNode(template, self.app, self.design_spaces, seed=0)
+            probe.maybe_replan(0.0)
+            cached = probe.capacity_estimate_rps()
+            self._capacity_cache[template.codename] = cached
+        return cached
+
+    def _live(self) -> List[ClusterNode]:
+        return [n for n in self._nodes if n.state is not NodeState.TERMINATED]
+
+    def _promote(self, now_ms: float) -> None:
+        for node in self._nodes:
+            if node.state is NodeState.WARMING and node.ready_ms <= now_ms:
+                node.state = NodeState.SERVING
+
+    def _launch(self, request: LaunchRequest, reason: str = "scale_up") -> ClusterNode:
+        index = self._launch_count
+        self._launch_count += 1
+        template = self.templates[index % len(self.templates)]
+        node_id = f"node{index}"
+        leaf = LeafNode(
+            template,
+            self.app,
+            self.design_spaces,
+            replan_interval_ms=self.replan_interval_ms,
+            seed=np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(2, index)
+            ),
+        )
+        node = ClusterNode(
+            node_id,
+            template,
+            leaf,
+            launched_ms=request.at_ms,
+            ready_ms=request.ready_ms,
+            state=(
+                NodeState.SERVING
+                if request.ready_ms <= request.at_ms
+                else NodeState.WARMING
+            ),
+        )
+        schedule = self._fault_schedules.get(node_id)
+        if schedule is not None:
+            from ..faults.injector import FaultInjector
+
+            FaultInjector(schedule).bind(leaf)
+        self._nodes.append(node)
+        self._timeline.append(
+            ScalingEvent(
+                request.at_ms, "launch", node_id, reason, len(self._live())
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster.launch",
+                name=node_id,
+                t_ms=request.at_ms,
+                node=node_id,
+                reason=reason,
+                ready_ms=round(request.ready_ms, 6),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("cluster_launches_total").inc()
+        return node
+
+    def _terminate(self, request: TerminationRequest, now_ms: float) -> None:
+        node = next(
+            n for n in self._nodes if n.node_id == request.node_id
+        )
+        node.state = NodeState.TERMINATED
+        node.terminated_ms = now_ms
+        self._timeline.append(
+            ScalingEvent(
+                now_ms,
+                "terminate",
+                node.node_id,
+                request.reason.name,
+                len(self._live()),
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cluster.terminate",
+                name=node.node_id,
+                t_ms=now_ms,
+                node=node.node_id,
+                reason=request.reason.name,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("cluster_terminations_total").inc()
+
+    # -- the drive loop -------------------------------------------------------
+
+    def replay(
+        self,
+        trace: UtilizationTrace,
+        peak_rps: float,
+        compress: float = 1.0,
+    ) -> ClusterResult:
+        """Replay a utilization trace (the diurnal Google-trace study at
+        fleet scale).  ``compress`` shrinks each trace interval by that
+        factor of simulated time; arrivals come from the dedicated
+        arrival child stream, so the replay is seed-deterministic."""
+        from ..runtime.loadgen import trace_arrivals
+
+        if compress <= 0:
+            raise ValueError("compress must be positive")
+        interval_ms = trace.interval_s * 1000.0 / compress
+        arrivals = trace_arrivals(
+            trace.utilization, interval_ms, peak_rps, rng=self.arrival_rng()
+        )
+        horizon_ms = len(trace.utilization) * interval_ms
+        return self.run(arrivals, horizon_ms=horizon_ms)
+
+    def run(
+        self,
+        arrivals_ms: Sequence[float],
+        horizon_ms: Optional[float] = None,
+    ) -> ClusterResult:
+        """Route one sorted arrival stream through the fleet."""
+        if not len(arrivals_ms):
+            raise ValueError("empty arrival stream")
+        if self._nodes:
+            raise RuntimeError("a ClusterSimulation instance drives one run")
+        cfg = self.config
+        eval_ms = cfg.eval_interval_ms
+        ordered = sorted(float(t) for t in arrivals_ms)
+        horizon = float(
+            max(horizon_ms or 0.0, ordered[-1] + eval_ms, eval_ms)
+        )
+
+        for _ in range(cfg.min_nodes):
+            self._launch(LaunchRequest(0.0, 0.0), reason="initial")
+        self._promote(0.0)
+
+        records: List[RequestRecord] = []
+        node_ids: List[str] = []
+        intervals: List[IntervalStats] = []
+        up_lags: List[float] = []
+        down_lags: List[float] = []
+        pressure_since: Optional[float] = None
+        relief_since: Optional[float] = None
+        lag_recorded = False
+
+        next_eval = eval_ms
+        window_arrivals = 0
+
+        def evaluate(now_ms: float, n_arrivals: int) -> None:
+            nonlocal pressure_since, relief_since, lag_recorded
+            self._promote(now_ms)
+            serving = [n for n in self._nodes if n.state is NodeState.SERVING]
+            warming = [n for n in self._nodes if n.state is NodeState.WARMING]
+            demand = n_arrivals * 1000.0 / eval_ms
+            capacity = sum(
+                self._template_capacity(n.template) for n in serving + warming
+            )
+            for node in serving:
+                if node.queue_ms(now_ms) <= 0.0:
+                    node.idle_evals += 1
+                else:
+                    node.idle_evals = 0
+            idle = sorted(
+                (
+                    n
+                    for n in serving
+                    if n.idle_evals >= cfg.idle_intervals
+                ),
+                key=lambda n: (-n.launched_ms, n.node_id),
+            )
+            request = SchedulingRequest(
+                now_ms=now_ms,
+                demand_rps=demand,
+                capacity_rps=capacity,
+                n_serving=len(serving),
+                n_warming=len(warming),
+                node_capacity_rps=self._template_capacity(
+                    self.templates[self._launch_count % len(self.templates)]
+                ),
+                idle_nodes=tuple(n.node_id for n in idle),
+            )
+            util = request.utilization
+            if util > cfg.scale_up_utilization:
+                if pressure_since is None:
+                    pressure_since = now_ms
+                    lag_recorded = False
+                relief_since = None
+            elif util < cfg.scale_down_utilization:
+                if relief_since is None:
+                    relief_since = now_ms
+                    lag_recorded = False
+                pressure_since = None
+            else:
+                pressure_since = relief_since = None
+            reply = self.autoscaler.evaluate(request)
+            for launch in reply.to_launch:
+                self._launch(launch)
+            for termination in reply.to_terminate:
+                self._terminate(termination, now_ms)
+            if reply.to_launch and pressure_since is not None and not lag_recorded:
+                up_lags.append(reply.to_launch[0].ready_ms - pressure_since)
+                lag_recorded = True
+            if reply.to_terminate and relief_since is not None and not lag_recorded:
+                down_lags.append(now_ms - relief_since)
+                lag_recorded = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cluster.scale",
+                    name="autoscaler",
+                    t_ms=now_ms,
+                    n_nodes=len(self._live()),
+                    demand_rps=round(demand, 6),
+                    utilization=round(min(util, 1e9), 6),
+                )
+            intervals.append(
+                IntervalStats(
+                    t_ms=now_ms,
+                    arrivals=n_arrivals,
+                    demand_rps=demand,
+                    utilization=util,
+                    n_serving=len(
+                        [n for n in self._nodes if n.state is NodeState.SERVING]
+                    ),
+                    n_warming=len(
+                        [n for n in self._nodes if n.state is NodeState.WARMING]
+                    ),
+                    launched=len(reply.to_launch),
+                    terminated=len(reply.to_terminate),
+                )
+            )
+
+        req_seq = 0
+        for t in ordered:
+            while next_eval <= t:
+                evaluate(next_eval, window_arrivals)
+                window_arrivals = 0
+                next_eval += eval_ms
+            self._promote(t)
+            serving = [n for n in self._nodes if n.state is NodeState.SERVING]
+            req_seq += 1
+            node = self.dispatcher.route(t, self._signature, serving, req=req_seq)
+            record = node.leaf.submit(t)
+            node.planned_signatures.add(self._signature)
+            node.served += 1
+            records.append(record)
+            node_ids.append(node.node_id)
+            window_arrivals += 1
+        while next_eval <= horizon:
+            evaluate(next_eval, window_arrivals)
+            window_arrivals = 0
+            next_eval += eval_ms
+
+        result = self._assemble(
+            records, node_ids, intervals, up_lags, down_lags, horizon, eval_ms
+        )
+        if self.metrics is not None:
+            self._record_metrics(result)
+        return result
+
+    # -- result assembly ------------------------------------------------------
+
+    def _assemble(
+        self,
+        records: List[RequestRecord],
+        node_ids: List[str],
+        intervals: List[IntervalStats],
+        up_lags: List[float],
+        down_lags: List[float],
+        horizon_ms: float,
+        eval_ms: float,
+    ) -> ClusterResult:
+        # Per-interval latency aggregates, bucketed by arrival time.
+        buckets: Dict[int, List[float]] = {}
+        for record in records:
+            if record.served:
+                buckets.setdefault(
+                    int(record.arrival_ms // eval_ms), []
+                ).append(record.latency_ms)
+        for i, interval in enumerate(intervals):
+            lats = buckets.get(i)
+            if lats:
+                interval.p50_ms = percentile_latency(lats, 50.0)
+                interval.p99_ms = percentile_latency(lats, 99.0)
+                interval.violations = sum(
+                    1 for lat in lats if lat > self.app.qos_ms
+                ) / len(lats)
+
+        n_bins = max(int(math.ceil(horizon_ms / eval_ms)), 1)
+        total_power = np.zeros(n_bins)
+        node_months: Dict[str, float] = {}
+        edges = np.arange(n_bins) * eval_ms
+        for node in self._nodes:
+            start, end = node.active_span_ms(horizon_ms)
+            if end <= start:
+                continue
+            bins = _power_timeline(node.leaf, horizon_ms, eval_ms)
+            active_frac = np.clip(
+                (np.minimum(end, edges + eval_ms) - np.maximum(start, edges))
+                / eval_ms,
+                0.0,
+                1.0,
+            )
+            total_power += bins[:n_bins] * active_frac
+            codename = node.template.codename
+            node_months[codename] = node_months.get(codename, 0.0) + float(
+                (end - start) / horizon_ms
+            )
+
+        return ClusterResult(
+            app=self.app.name,
+            qos_ms=self.app.qos_ms,
+            duration_ms=horizon_ms,
+            interval_ms=eval_ms,
+            requests=records,
+            node_ids=node_ids,
+            intervals=intervals,
+            timeline=list(self._timeline),
+            power_bins_w=total_power,
+            fleet_node_months=node_months,
+            scale_up_lags_ms=up_lags,
+            scale_down_lags_ms=down_lags,
+            nodes=list(self._nodes),
+        )
+
+    def _record_metrics(self, result: ClusterResult) -> None:
+        registry = self.metrics
+        served = sum(1 for r in result.requests if r.served)
+        registry.counter("cluster_requests_total", outcome="served").inc(served)
+        registry.counter("cluster_requests_total", outcome="other").inc(
+            len(result.requests) - served
+        )
+        registry.gauge("cluster_fleet_size").set(
+            len([n for n in result.nodes if n.state is not NodeState.TERMINATED])
+        )
+        registry.gauge("cluster_mean_fleet_size").set(
+            round(result.mean_fleet_size, 6)
+        )
+        registry.gauge("cluster_fleet_avg_power_w").set(
+            round(result.fleet_avg_power_w, 6)
+        )
+        hist = registry.histogram("cluster_request_latency_ms")
+        for lat in result.latencies_ms():
+            hist.observe(lat)

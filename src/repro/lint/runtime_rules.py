@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Set
 
 import networkx as nx
 
+from ..cluster.scaling import AutoscalerConfig
 from ..faults.events import FaultSchedule
 from ..faults.injector import FaultInjector
 from ..faults.policy import RetryPolicy
@@ -331,6 +332,99 @@ def check_plan_cache_invalidation(
                 "(plan_cache.bind_invalidation(node)) or build the node "
                 "with plan_cache=... which wires invalidate_plans()"
             ),
+        )
+
+
+@register_rule(
+    "RT007",
+    Severity.ERROR,
+    (AutoscalerConfig,),
+    "autoscaler config cannot converge (bounds, interval, or hysteresis)",
+)
+def check_autoscaler_config(
+    config: AutoscalerConfig, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """An elastic fleet only converges under three structural
+    conditions: a satisfiable size range, a positive evaluation period,
+    and a hysteresis band that actually separates the scale-up and
+    scale-down triggers with the target operating point between them.
+    Violating any of these either deadlocks the fleet driver or
+    guarantees launch/terminate oscillation — diagnose at admission,
+    before a replay is paid for (the RT004/RT005 pattern)."""
+    loc = ctx.prefix("autoscaler")
+    if config.min_nodes > config.max_nodes:
+        yield Diagnostic(
+            rule="RT007",
+            severity=Severity.ERROR,
+            location=loc,
+            message=(
+                f"min_nodes={config.min_nodes} exceeds "
+                f"max_nodes={config.max_nodes}; no fleet size satisfies "
+                "the bounds"
+            ),
+            hint="set min_nodes <= max_nodes",
+        )
+    if config.min_nodes < 1:
+        yield Diagnostic(
+            rule="RT007",
+            severity=Severity.ERROR,
+            location=loc,
+            message=(
+                f"min_nodes={config.min_nodes} allows an empty fleet; "
+                "arrivals would have no serving node to route to"
+            ),
+            hint="keep at least one node provisioned (min_nodes >= 1)",
+        )
+    if config.eval_interval_ms <= 0:
+        yield Diagnostic(
+            rule="RT007",
+            severity=Severity.ERROR,
+            location=loc,
+            message=(
+                f"eval_interval_ms={config.eval_interval_ms:g} never "
+                "advances the evaluation clock; the scaling loop would "
+                "re-evaluate the same instant forever"
+            ),
+            hint="use a positive evaluation interval (the default is 1000 ms)",
+        )
+    if not config.hysteresis_ok:
+        if config.scale_down_utilization >= config.scale_up_utilization:
+            detail = (
+                f"scale_down_utilization={config.scale_down_utilization:g} "
+                f">= scale_up_utilization={config.scale_up_utilization:g}: "
+                "every interval is simultaneously above the launch edge or "
+                "below the terminate edge"
+            )
+        else:
+            detail = (
+                f"target_utilization={config.target_utilization:g} lies "
+                "outside the band "
+                f"[{config.scale_down_utilization:g}, "
+                f"{config.scale_up_utilization:g}]: each correction "
+                "overshoots into the opposite trigger"
+            )
+        yield Diagnostic(
+            rule="RT007",
+            severity=Severity.ERROR,
+            location=loc,
+            message=f"hysteresis band guarantees oscillation — {detail}",
+            hint=(
+                "keep scale_down < target <= scale_up "
+                "(defaults 0.30 < 0.60 <= 0.85)"
+            ),
+        )
+    elif config.warmup_ms > 0 and config.warmup_ms >= 10.0 * config.eval_interval_ms:
+        yield Diagnostic(
+            rule="RT007",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                f"warmup_ms={config.warmup_ms:g} spans "
+                f"{config.warmup_ms / config.eval_interval_ms:.0f} "
+                "evaluation intervals; demand spikes shorter than the "
+                "warm-up never see the capacity they triggered"
+            ),
+            hint="lengthen eval_interval_ms or shorten warmup_ms",
         )
 
 

@@ -39,6 +39,7 @@ _CONTROL_TRACKS = {
     "sched": (3, "scheduler"),
     "fault": (4, "faults"),
     "monitor": (5, "monitor"),
+    "cluster": (6, "cluster"),
 }
 _FIRST_DEVICE_TID = 10
 _PID = 1

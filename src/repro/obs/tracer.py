@@ -53,6 +53,9 @@ __all__ = [
 #:   detections, failover replans and recoveries.
 #: * ``monitor.*`` — periodic feedback-loop snapshots (queue depth,
 #:   correction factor, windowed tail latency).
+#: * ``cluster.*`` — fleet-layer decisions: per-request routing (the
+#:   power-of-two-choices pick with its sampled candidates), node
+#:   launches/terminations, and per-interval autoscaler evaluations.
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "request.admit": ("req", "priority"),
     "request.shed": ("req",),
@@ -83,6 +86,10 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
         "tail_ms",
         "arrival_rate_rps",
     ),
+    "cluster.route": ("req", "node", "candidates", "queue_ms", "locality"),
+    "cluster.launch": ("node", "reason", "ready_ms"),
+    "cluster.terminate": ("node", "reason"),
+    "cluster.scale": ("n_nodes", "demand_rps", "utilization"),
 }
 
 

@@ -9,7 +9,13 @@ from .cluster import (
     provision,
     setting,
 )
-from .loadgen import constant_arrivals, poisson_arrivals, trace_arrivals
+from .loadgen import (
+    constant_arrivals,
+    flash_crowd_arrivals,
+    pareto_poisson_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
 from .metrics import (
     availability,
     energy_proportionality,
@@ -22,7 +28,7 @@ from .metrics import (
 )
 from .node import AcceleratorInstance, ExecutionRecord, LeafNode, RequestRecord
 from .simulation import SimulationResult, run_simulation
-from .tco import TCOModel, TCOParameters
+from .tco import FleetTCO, TCOModel, TCOParameters
 from .trace import UtilizationTrace, load_trace_csv, synthesize_google_trace
 
 __all__ = [
@@ -35,6 +41,8 @@ __all__ = [
     "constant_arrivals",
     "poisson_arrivals",
     "trace_arrivals",
+    "pareto_poisson_arrivals",
+    "flash_crowd_arrivals",
     "LeafNode",
     "AcceleratorInstance",
     "ExecutionRecord",
@@ -51,6 +59,7 @@ __all__ = [
     "mean_recovery_ms",
     "TCOModel",
     "TCOParameters",
+    "FleetTCO",
     "UtilizationTrace",
     "synthesize_google_trace",
     "load_trace_csv",

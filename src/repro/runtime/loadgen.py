@@ -9,6 +9,7 @@ reduce to generating sorted arrival timestamps.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -17,6 +18,8 @@ __all__ = [
     "constant_arrivals",
     "poisson_arrivals",
     "trace_arrivals",
+    "pareto_poisson_arrivals",
+    "flash_crowd_arrivals",
 ]
 
 
@@ -57,6 +60,89 @@ def poisson_arrivals(
             if t >= start_ms + duration_ms:
                 return times
             times.append(t)
+
+
+def pareto_poisson_arrivals(
+    rps: float,
+    duration_ms: float,
+    rng: Optional[np.random.Generator] = None,
+    start_ms: float = 0.0,
+    window_ms: float = 1_000.0,
+    alpha: float = 2.5,
+) -> List[float]:
+    """Heavy-tail arrivals: a Pareto-modulated Poisson process.
+
+    Real interactive-service traffic is burstier than Poisson — rates
+    cluster into heavy-tailed episodes.  This generator draws one
+    Pareto(``alpha``) rate multiplier per ``window_ms`` modulation
+    window (normalized so the long-run mean rate stays ``rps``) and
+    emits Poisson arrivals at the modulated rate within each window.
+    Smaller ``alpha`` means heavier bursts; ``alpha`` must exceed 1 so
+    the multiplier's mean exists.
+    """
+    if rps <= 0:
+        return []
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    if window_ms <= 0:
+        raise ValueError("modulation window must be positive")
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 (heavier tails have no mean)")
+    rng = rng or np.random.default_rng(0)
+    # rng.pareto draws Lomax; +1 gives classical Pareto with x_m = 1 and
+    # mean alpha / (alpha - 1); dividing by that mean keeps E[rate] = rps.
+    mean_multiplier = alpha / (alpha - 1.0)
+    times: List[float] = []
+    n_windows = int(math.ceil(duration_ms / window_ms))
+    for i in range(n_windows):
+        multiplier = (1.0 + float(rng.pareto(alpha))) / mean_multiplier
+        w_start = start_ms + i * window_ms
+        w_len = min(window_ms, start_ms + duration_ms - w_start)
+        rate = rps * multiplier
+        if rate <= 0 or w_len <= 0:
+            continue
+        times.extend(poisson_arrivals(rate, w_len, rng, start_ms=w_start))
+    return times
+
+
+def flash_crowd_arrivals(
+    base_rps: float,
+    duration_ms: float,
+    surge_start_ms: float,
+    surge_duration_ms: float,
+    surge_multiplier: float = 5.0,
+    rng: Optional[np.random.Generator] = None,
+    start_ms: float = 0.0,
+) -> List[float]:
+    """Baseline Poisson load with one flash-crowd surge.
+
+    A surge window multiplies the offered rate by ``surge_multiplier``
+    (a news event hitting an interactive service — ROADMAP item 4's
+    flash-crowd scenario).  Implemented as baseline arrivals plus an
+    *extra* Poisson stream at ``base_rps * (surge_multiplier - 1)``
+    inside the surge window, merge-sorted: the baseline stream's draws
+    are identical with and without the surge, so A/B comparisons under
+    one seed isolate the surge's effect.
+    """
+    if base_rps <= 0:
+        return []
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    if surge_duration_ms < 0:
+        raise ValueError("surge duration must be non-negative")
+    if surge_multiplier < 1.0:
+        raise ValueError("a flash crowd cannot shrink the load")
+    rng = rng or np.random.default_rng(0)
+    base = poisson_arrivals(base_rps, duration_ms, rng, start_ms=start_ms)
+    surge_start = max(surge_start_ms, start_ms)
+    surge_end = min(surge_start_ms + surge_duration_ms, start_ms + duration_ms)
+    extra_rate = base_rps * (surge_multiplier - 1.0)
+    if surge_end <= surge_start or extra_rate <= 0:
+        return base
+    surge = poisson_arrivals(
+        extra_rate, surge_end - surge_start, rng, start_ms=surge_start
+    )
+    return sorted(base + surge)
 
 
 def trace_arrivals(

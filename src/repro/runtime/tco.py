@@ -14,7 +14,7 @@ from typing import Optional
 
 from .cluster import SystemConfig
 
-__all__ = ["TCOParameters", "TCOModel"]
+__all__ = ["TCOParameters", "TCOModel", "FleetTCO"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,11 @@ class TCOModel:
             / (p.datacenter_amortization_years * 12.0)
         )
 
+    def monthly_maintenance_usd(self, system: SystemConfig) -> float:
+        """Monthly maintenance as a fraction of hardware capex."""
+        p = self.params
+        return (p.server_cost_usd + system.capex_usd) * p.maintenance_frac / 12.0
+
     def monthly_energy_usd(self, avg_power_w: float) -> float:
         """Electricity for the measured average node power."""
         if avg_power_w < 0:
@@ -77,13 +82,10 @@ class TCOModel:
 
     def monthly_tco_usd(self, system: SystemConfig, avg_power_w: float) -> float:
         """Total monthly cost of the node at the given average power."""
-        p = self.params
         capex = self.monthly_capex_usd(system)
         infra = self.monthly_infrastructure_usd(system)
         energy = self.monthly_energy_usd(avg_power_w)
-        maintenance = (
-            (p.server_cost_usd + system.capex_usd) * p.maintenance_frac / 12.0
-        )
+        maintenance = self.monthly_maintenance_usd(system)
         return capex + infra + energy + maintenance
 
     def cost_efficiency(
@@ -93,3 +95,53 @@ class TCOModel:
         if max_rps < 0:
             raise ValueError("throughput must be non-negative")
         return max_rps / self.monthly_tco_usd(system, avg_power_w)
+
+    def for_fleet(self, system: SystemConfig, n_nodes: float) -> "FleetTCO":
+        """Fleet-level aggregation of one node architecture's fixed
+        costs, amortized at ``n_nodes`` nodes.
+
+        ``n_nodes`` may be fractional: an elastic fleet's monthly bill
+        is driven by the *time-weighted* node count (a node provisioned
+        for half the month costs half a node-month of capex,
+        infrastructure and maintenance).  Energy is intentionally not
+        part of :class:`FleetTCO` — it scales with measured fleet power,
+        not node count, and is added via :meth:`monthly_energy_usd`.
+        """
+        if n_nodes < 0:
+            raise ValueError("node count must be non-negative")
+        return FleetTCO(
+            codename=system.codename,
+            n_nodes=float(n_nodes),
+            monthly_capex_usd=self.monthly_capex_usd(system) * n_nodes,
+            monthly_infrastructure_usd=(
+                self.monthly_infrastructure_usd(system) * n_nodes
+            ),
+            monthly_maintenance_usd=(
+                self.monthly_maintenance_usd(system) * n_nodes
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FleetTCO:
+    """Node-count-weighted fixed costs of one template in a fleet."""
+
+    codename: str
+    n_nodes: float
+    monthly_capex_usd: float
+    monthly_infrastructure_usd: float
+    monthly_maintenance_usd: float
+
+    def monthly_fixed_usd(self) -> float:
+        """All power-independent monthly costs of this template slice."""
+        return (
+            self.monthly_capex_usd
+            + self.monthly_infrastructure_usd
+            + self.monthly_maintenance_usd
+        )
+
+    def monthly_tco_usd(self, monthly_energy_usd: float) -> float:
+        """Fixed costs plus the measured-energy bill for this slice."""
+        if monthly_energy_usd < 0:
+            raise ValueError("energy cost must be non-negative")
+        return self.monthly_fixed_usd() + monthly_energy_usd

@@ -41,6 +41,11 @@ RT_LOAD_KEYS = {
     "pair_speedups", "speedup", "p99_ms", "identical", "plan_cache",
 }
 PLAN_CACHE_KEYS = {"hits", "misses", "evictions", "hit_rate"}
+CLUSTER_KEYS = {
+    "trial_s", "median_s", "cold_s", "requests", "peak_rps", "served_rps",
+    "p99_ms", "qos_ok_frac", "mean_fleet", "launches", "terminations",
+    "scale_up_lag_ms", "scale_down_lag_ms", "cost_efficiency",
+}
 
 
 @pytest.fixture(scope="module")
@@ -57,7 +62,7 @@ class TestSchema:
 
     def test_app_sections(self, mf_doc):
         row = mf_doc["apps"]["MF"]
-        assert set(row) == {"dse", "scheduler", "simulation", "sched"}
+        assert set(row) == {"dse", "scheduler", "simulation", "sched", "cluster"}
         assert set(row["dse"]) == DSE_KEYS
         assert set(row["dse"]["cache"]) == CACHE_KEYS
         assert set(row["scheduler"]) == SCHED_KEYS
@@ -66,6 +71,7 @@ class TestSchema:
         for load in row["sched"]["loads"].values():
             assert set(load) == RT_LOAD_KEYS
             assert set(load["plan_cache"]) == PLAN_CACHE_KEYS
+        assert set(row["cluster"]) == CLUSTER_KEYS
 
     def test_trial_counts_and_medians(self, mf_doc):
         row = mf_doc["apps"]["MF"]
@@ -183,6 +189,12 @@ class TestCheckedInBaseline:
         for app, row in doc["apps"].items():
             assert {"median_s", "cold_s"} <= set(row["sched"]), app
 
+    def test_baseline_gates_cluster_sections(self):
+        """The fleet-replay sections must carry the gated metrics."""
+        doc = load_bench_json(BASELINE_PATH)
+        for app, row in doc["apps"].items():
+            assert {"median_s", "cold_s"} <= set(row["cluster"]), app
+
 
 class TestSchedSuite:
     def test_sched_suite_runs_only_sched(self):
@@ -229,6 +241,42 @@ class TestSchedSuite:
         assert cli_main(args + ["--min-sched-speedup", "1e9"]) == 1
         assert cli_main(args + ["--min-sched-speedup", "0.0"]) == 0
         assert load_bench_json(out)["suite"] == "sched"
+
+
+class TestClusterSuite:
+    def test_cluster_suite_runs_only_cluster(self):
+        doc = run_bench(app_names=["MF"], trials=1, label="c", suite="cluster")
+        assert doc["suite"] == "cluster"
+        row = doc["apps"]["MF"]
+        assert set(row) == {"cluster"}
+        assert set(row["cluster"]) == CLUSTER_KEYS
+
+    def test_cluster_section_quality_metrics(self, mf_doc):
+        c = mf_doc["apps"]["MF"]["cluster"]
+        assert c["requests"] > 0
+        assert c["served_rps"] > 0
+        assert c["p99_ms"] > 0
+        assert 0.0 <= c["qos_ok_frac"] <= 1.0
+        assert c["mean_fleet"] >= 1.0
+        # The mini diurnal profile peaks above one node's capacity, so
+        # the replay must contain a scale-up episode with the 2000 ms
+        # warm-up reflected in the measured lag.
+        assert c["launches"] >= 1
+        assert c["scale_up_lag_ms"] is not None
+        assert c["scale_up_lag_ms"] >= 2000.0
+        assert c["cost_efficiency"] > 0
+
+    def test_render_includes_cluster_line(self, mf_doc):
+        assert "cluster" in render_bench(mf_doc)
+
+    def test_gate_covers_cluster_section(self, mf_doc):
+        slow = copy.deepcopy(mf_doc)
+        sec = slow["apps"]["MF"]["cluster"]
+        sec["median_s"] *= 5.0
+        sec["cold_s"] *= 5.0
+        comparison = compare_to_baseline(slow, mf_doc, max_ratio=2.0)
+        assert not comparison.ok
+        assert any("MF/cluster" in r for r in comparison.regressions)
 
 
 class TestCLI:

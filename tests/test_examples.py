@@ -1,0 +1,38 @@
+"""Smoke coverage for the runnable examples.
+
+Examples are documentation that executes; the cheapest way to keep them
+from rotting is to run them (tiny configurations, captured stdout) in
+the test suite.  Each example's ``main()`` takes parameters precisely
+so a smoke test can shrink the workload.
+"""
+
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+sys.path.insert(0, str(EXAMPLES_DIR))
+
+
+class TestClusterDiurnalExample:
+    def test_smoke(self, capsys):
+        import cluster_diurnal
+
+        # One simulated hour, heavily compressed: a few hundred requests.
+        cluster_diurnal.main(
+            hours=1.0, interval_s=300.0, compress=600.0, max_nodes=4
+        )
+        out = capsys.readouterr().out
+        assert "scaling timeline" in out
+        assert "node0" in out
+        assert "cost:" in out
+        assert "rps/USD" in out
+
+    def test_prints_qos_and_latency(self, capsys):
+        import cluster_diurnal
+
+        cluster_diurnal.main(
+            hours=0.5, interval_s=300.0, compress=600.0, max_nodes=2
+        )
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "QoS" in out

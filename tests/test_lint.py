@@ -15,6 +15,7 @@ from conftest import chain_graph, small_kernel, synthetic_space
 from repro import apps as apps_mod
 from repro.apps.base import Application
 from repro.cli import main
+from repro.cluster import AutoscalerConfig
 from repro.frontend import build_kernel, parse
 from repro.hardware import AMD_W9100, ImplConfig
 from repro.hardware.specs import DeviceType, INTEL_ARRIA10, XILINX_7V3
@@ -44,7 +45,7 @@ from repro.scheduler import (
 EXPECTED_RULES = {
     "PPG001", "PPG002", "PPG003", "PPG004", "PPG005", "PPG006", "PPG007",
     "PPG008", "OPT001", "OPT002", "OPT003", "OPT004", "RT001", "RT002",
-    "RT003",
+    "RT003", "RT007",
 }
 
 
@@ -466,6 +467,79 @@ class TestPlanCacheInvalidationRule:
     def test_rt006_cacheless_scheduler_clean(self):
         report = run_lint(self._scheduler(None), LintContext())
         assert not report.by_rule("RT006")
+
+
+class TestAutoscalerConfigRule:
+    def test_rt007_defaults_clean(self):
+        report = run_lint(AutoscalerConfig(), LintContext())
+        assert not report.by_rule("RT007") and report.ok
+
+    def test_rt007_min_above_max_fires(self):
+        report = run_lint(
+            AutoscalerConfig(min_nodes=5, max_nodes=2), LintContext()
+        )
+        diags = report.by_rule("RT007")
+        assert diags and not report.ok
+        assert any("min_nodes=5" in d.message for d in diags)
+
+    def test_rt007_empty_fleet_fires(self):
+        report = run_lint(AutoscalerConfig(min_nodes=0), LintContext())
+        diags = report.by_rule("RT007")
+        assert diags and "empty fleet" in diags[0].message
+
+    def test_rt007_zero_eval_interval_fires(self):
+        report = run_lint(
+            AutoscalerConfig(eval_interval_ms=0.0), LintContext()
+        )
+        diags = report.by_rule("RT007")
+        assert diags and "eval_interval_ms" in diags[0].message
+        assert all(d.severity == Severity.ERROR for d in diags)
+
+    def test_rt007_inverted_hysteresis_fires(self):
+        report = run_lint(
+            AutoscalerConfig(
+                scale_up_utilization=0.3, scale_down_utilization=0.8
+            ),
+            LintContext(),
+        )
+        diags = report.by_rule("RT007")
+        assert len(diags) == 1
+        assert "oscillation" in diags[0].message
+
+    def test_rt007_target_outside_band_fires(self):
+        report = run_lint(
+            AutoscalerConfig(target_utilization=0.95), LintContext()
+        )
+        diags = report.by_rule("RT007")
+        assert len(diags) == 1 and "target_utilization" in diags[0].message
+
+    def test_rt007_long_warmup_is_warning(self):
+        report = run_lint(
+            AutoscalerConfig(warmup_ms=20_000.0, eval_interval_ms=1000.0),
+            LintContext(),
+        )
+        diags = report.by_rule("RT007")
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.WARNING
+        assert report.ok  # warnings do not fail the report
+
+    def test_rt007_multiple_defects_all_reported(self):
+        report = run_lint(
+            AutoscalerConfig(
+                min_nodes=0,
+                eval_interval_ms=0.0,
+                scale_up_utilization=0.2,
+                scale_down_utilization=0.9,
+            ),
+            LintContext(),
+        )
+        assert len(report.by_rule("RT007")) == 3
+
+    def test_rt007_location_prefixed(self):
+        report = run_lint(
+            AutoscalerConfig(min_nodes=0), LintContext()
+        )
+        assert "autoscaler" in report.by_rule("RT007")[0].location
 
 
 # ---------------------------------------------------------------------------
