@@ -23,8 +23,10 @@ __all__ = ["BaselineComparison", "compare_to_baseline", "load_bench_json"]
 #: Sections of a per-app entry that are gated.  ``dse`` tracks the
 #: offline exploration cost; ``sched`` tracks the cached runtime hot
 #: path (``cold_s`` = plan-cache fill, ``median_s`` = warm steady state);
-#: ``cluster`` tracks the fleet replay (dispatcher + autoscaler loop).
-GATED_SECTIONS = ("dse", "sched", "cluster")
+#: ``sim`` tracks the event-heap engine (``cold_s`` = plan/code-cache
+#: fill, ``median_s`` = warm event-engine steady state); ``cluster``
+#: tracks the fleet replay (dispatcher + autoscaler loop).
+GATED_SECTIONS = ("dse", "sched", "sim", "cluster")
 
 #: Metrics gated within each section (when present in both documents).
 #: ``cold_s`` catches model-evaluation slowdowns the warm cache would

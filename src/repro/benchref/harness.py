@@ -15,6 +15,7 @@ measured times by the calibration time (see
 
 from __future__ import annotations
 
+import gc
 import json
 import statistics
 import time
@@ -58,11 +59,28 @@ def calibrate() -> float:
 
 
 def _timed_trials(fn, trials: int) -> List[float]:
+    """Time ``trials`` calls of ``fn`` with the cyclic GC paused.
+
+    Collector pauses scale with the number of live objects, so a trial
+    late in a long process (a full-suite run, the test session) would
+    otherwise measure the *process history* rather than ``fn`` — the
+    allocation-heavy simulation trials drifted 2-4x slower purely from
+    accumulated gen-2 scan cost.  Collecting up front and disabling the
+    GC for the timed window removes that noise; refcounting still frees
+    the (acyclic) bulk of each trial's garbage immediately.
+    """
     out = []
-    for _ in range(trials):
-        start = time.perf_counter()
-        fn()
-        out.append(time.perf_counter() - start)
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(trials):
+            start = time.perf_counter()
+            fn()
+            out.append(time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
     return out
 
 
@@ -270,6 +288,102 @@ def _bench_sched(app, system, spaces, trials: int, seed: int) -> Dict:
     }
 
 
+#: (requests/sec, stream duration ms) per sim-bench load level — same
+#: levels as the sched bench so the two sections compose into one story
+#: (plan cache speedup x engine speedup).
+_SIM_LOADS = {"low": (60.0, 6_000.0), "high": (400.0, 10_000.0)}
+
+
+def _bench_sim(app, system, spaces, trials: int, seed: int) -> Dict:
+    """Event-heap engine throughput vs. the legacy per-request loop.
+
+    Replays the same seeded Poisson stream through
+    ``run_simulation(engine="legacy")`` (the pre-rewrite submit loop,
+    no plan cache — exactly what every caller ran before the engine
+    landed) and through ``engine="event"`` with a warm
+    :class:`~repro.scheduler.SchedulePlanCache` (the full fast path:
+    chunked arrival events, incremental EST tables, compiled per-plan
+    dispatch programs).  One warm-up event run fills the plan cache and
+    the process-wide code cache (``event_cold_s``); each trial then
+    times a legacy run back-to-back with a warm event run, and the
+    gated ``speedup`` is the median of the per-pair ratios — robust to
+    machine-speed drift, like the sched bench.  Both engines produce
+    float-identical request streams (``identical``), golden-tested in
+    ``tests/test_engine.py`` and re-checked here per load level.
+    """
+    from ..scheduler import SchedulePlanCache
+
+    loads: Dict = {}
+    for load_key, (rps, duration_ms) in _SIM_LOADS.items():
+        arrivals = runtime.poisson_arrivals(
+            rps, duration_ms, rng=np.random.default_rng(seed)
+        )
+        results = {}
+
+        def run(engine, plan_cache=None, mode=None):
+            res = runtime.run_simulation(
+                system, app, spaces, arrivals, seed=seed,
+                plan_cache=plan_cache, engine=engine,
+            )
+            if mode is not None and mode not in results:
+                results[mode] = res
+            return res
+
+        clear_model_cache()
+        cache = SchedulePlanCache()
+        event_cold_s = _timed_trials(
+            lambda: run("event", plan_cache=cache, mode="event"), 1
+        )[0]
+        legacy_s: List[float] = []
+        event_warm_s: List[float] = []
+        for _ in range(trials):
+            legacy_s += _timed_trials(lambda: run("legacy", mode="legacy"), 1)
+            event_warm_s += _timed_trials(
+                lambda: run("event", plan_cache=cache), 1
+            )
+
+        legacy_median = statistics.median(legacy_s)
+        event_warm = statistics.median(event_warm_s)
+        pair_speedups = [lg / ev for lg, ev in zip(legacy_s, event_warm_s)]
+        n = len(arrivals)
+        identical = [
+            (r.arrival_ms, r.completion_ms, r.predicted_ms)
+            for r in results["legacy"].requests
+        ] == [
+            (r.arrival_ms, r.completion_ms, r.predicted_ms)
+            for r in results["event"].requests
+        ] and results["legacy"].power_bins_w.tolist() == results[
+            "event"
+        ].power_bins_w.tolist()
+        loads[load_key] = {
+            "rps": rps,
+            "duration_ms": duration_ms,
+            "requests": n,
+            "legacy_trial_s": legacy_s,
+            "legacy_median_s": legacy_median,
+            "legacy_req_per_s": n / legacy_median,
+            "event_cold_s": event_cold_s,
+            "event_warm_trial_s": event_warm_s,
+            "event_warm_median_s": event_warm,
+            "event_req_per_s": n / event_warm,
+            "pair_speedups": pair_speedups,
+            "speedup": statistics.median(pair_speedups),
+            "p99_ms": round(results["event"].p99_ms, 3),
+            "identical": identical,
+        }
+
+    high = loads["high"]
+    return {
+        # Generic-gate keys (median_s / cold_s) describe the event
+        # engine at high load — the steady state the CI baseline tracks.
+        "trial_s": [high["event_cold_s"]] + high["event_warm_trial_s"],
+        "median_s": high["event_warm_median_s"],
+        "cold_s": high["event_cold_s"],
+        "speedup": high["speedup"],
+        "loads": loads,
+    }
+
+
 #: Mini diurnal utilization profile for the cluster bench: one
 #: compressed rise-peak-fall swing that forces the autoscaler through a
 #: full scale-up *and* scale-down episode per trial.
@@ -339,7 +453,7 @@ def _bench_cluster(app, system, spaces, trials: int, seed: int) -> Dict:
 
 
 #: Section sets per bench suite.
-_SUITES = ("full", "sched", "cluster")
+_SUITES = ("full", "sched", "sim", "cluster")
 
 
 def run_bench(
@@ -357,9 +471,11 @@ def run_bench(
     """Run the harness; returns the BENCH document as a dict.
 
     ``suite`` selects the sections: ``"full"`` runs DSE + scheduler +
-    simulation + sched + cluster (everything), ``"sched"`` runs only
-    the runtime sched benchmark (plan-cache on/off throughput), and
-    ``"cluster"`` runs only the fleet replay benchmark.
+    simulation + sched + sim + cluster (everything), ``"sched"`` runs
+    only the runtime sched benchmark (plan-cache on/off throughput),
+    ``"sim"`` runs only the engine benchmark (event-heap vs. legacy
+    loop throughput), and ``"cluster"`` runs only the fleet replay
+    benchmark.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -396,6 +512,8 @@ def run_bench(
             )
         if suite in ("full", "sched"):
             row["sched"] = _bench_sched(app, system, spaces, trials, seed)
+        if suite in ("full", "sim"):
+            row["sim"] = _bench_sim(app, system, spaces, trials, seed)
         if suite in ("full", "cluster"):
             row["cluster"] = _bench_cluster(app, system, spaces, trials, seed)
         doc["apps"][name] = row
@@ -440,6 +558,16 @@ def render_bench(doc: Dict) -> str:
                 f"{s['median_s']*1000:8.1f} ms cached warm "
                 f"({s['speedup']:.2f}x, {high['requests']} reqs, "
                 f"plan cache {high['plan_cache']['hit_rate']*100:.0f}% hits, "
+                f"identical={high['identical']})"
+            )
+        if "sim" in row:
+            s = row["sim"]
+            high = s["loads"]["high"]
+            lines.append(
+                f"  {name:4s} sim      {high['legacy_median_s']*1000:8.1f} ms legacy / "
+                f"{s['median_s']*1000:8.1f} ms event warm "
+                f"({s['speedup']:.2f}x, {high['requests']} reqs, "
+                f"{high['event_req_per_s']:,.0f} req/s, "
                 f"identical={high['identical']})"
             )
         if "cluster" in row:

@@ -45,20 +45,23 @@ Commands
     ``--system`` to rotate launches through heterogeneous node
     templates.  The autoscaler config is linted (RT007) before the run.
 
-``bench [--app NAME] [--suite full|sched|cluster] [--trials 3]
+``bench [--app NAME] [--suite full|sched|sim|cluster] [--trials 3]
         [--n-jobs 1] [--label L] [--check BASELINE] [--max-ratio 2.0]
-        [--min-sched-speedup X]``
+        [--min-sched-speedup X] [--min-sim-speedup X]``
     Deterministic performance benchmark: time per-app DSE (cold and
     cache-warm), the two-step scheduler, a fixed seeded simulation, the
     runtime ``sched`` suite (steady-state throughput with the
-    schedule-plan cache on vs off, bit-identical results) and the
-    ``cluster`` fleet replay (mini diurnal profile: throughput, p99,
-    scale lag) over repeated trials; write ``BENCH_<label>.json``.
-    ``--suite sched``/``--suite cluster`` run only that suite.
-    ``--check`` gates the run against a baseline document (CI's
-    ``perf-smoke`` job) and exits nonzero on a >``--max-ratio``
-    normalized regression; ``--min-sched-speedup`` additionally fails
-    when the warm plan-cached speedup drops below X.
+    schedule-plan cache on vs off, bit-identical results), the ``sim``
+    suite (event-heap engine vs. the legacy per-request loop,
+    float-identical results) and the ``cluster`` fleet replay (mini
+    diurnal profile: throughput, p99, scale lag) over repeated trials;
+    write ``BENCH_<label>.json``.  ``--suite sched``/``--suite sim``/
+    ``--suite cluster`` run only that suite.  ``--check`` gates the run
+    against a baseline document (CI's ``perf-smoke`` job) and exits
+    nonzero on a >``--max-ratio`` normalized regression;
+    ``--min-sched-speedup`` / ``--min-sim-speedup`` additionally fail
+    when the warm plan-cached (resp. event-engine) speedup drops
+    below X.
 
 ``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
         [--summary] [--crash DEV@MS] [--recover DEV@MS]``
@@ -608,16 +611,21 @@ def _cmd_bench(args) -> int:
         comparison = compare_to_baseline(doc, baseline, max_ratio=args.max_ratio)
         print(comparison.render())
         failed = failed or not comparison.ok
-    if args.min_sched_speedup is not None:
+    for section, gate in (
+        ("sched", args.min_sched_speedup),
+        ("sim", args.min_sim_speedup),
+    ):
+        if gate is None:
+            continue
         for app, row in sorted(doc["apps"].items()):
-            sched = row.get("sched")
-            if sched is None:
+            sec = row.get(section)
+            if sec is None:
                 continue
-            speedup = sched["speedup"]
-            ok = speedup >= args.min_sched_speedup
+            speedup = sec["speedup"]
+            ok = speedup >= gate
             print(
-                f"  {app:4s} sched speedup {speedup:5.2f}x "
-                f"(gate >= {args.min_sched_speedup:.1f}x) "
+                f"  {app:4s} {section} speedup {speedup:5.2f}x "
+                f"(gate >= {gate:.1f}x) "
                 f"[{'OK' if ok else 'REGRESSION'}]"
             )
             failed = failed or not ok
@@ -827,9 +835,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="full",
-        choices=("full", "sched", "cluster"),
-        help="'full' = DSE+scheduler+simulation+sched+cluster, "
+        choices=("full", "sched", "sim", "cluster"),
+        help="'full' = DSE+scheduler+simulation+sched+sim+cluster, "
         "'sched' = runtime plan-cache benchmark only, "
+        "'sim' = event-heap engine vs legacy loop benchmark only, "
         "'cluster' = fleet replay benchmark only",
     )
     p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
@@ -853,6 +862,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="X",
         help="fail when any app's warm plan-cached speedup is below X",
+    )
+    p.add_argument(
+        "--min-sim-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any app's event-engine speedup over the legacy "
+        "loop is below X",
     )
     p.add_argument("--json", action="store_true", help="print the full document")
     p.set_defaults(fn=_cmd_bench)

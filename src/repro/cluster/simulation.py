@@ -40,6 +40,13 @@ from ..apps.base import Application
 from ..obs.tracer import NULL_TRACER
 from ..optim.design_point import KernelDesignSpace
 from ..runtime.cluster import SystemConfig
+from ..runtime.engine import (
+    ARRIVAL_CHUNK,
+    EventHeap,
+    EventHeapEngine,
+    EventKind,
+)
+from ..runtime.loadgen import ArrivalSpec
 from ..runtime.metrics import percentile_latency
 from ..runtime.node import LeafNode, RequestRecord
 from ..runtime.simulation import _power_timeline
@@ -287,11 +294,15 @@ class ClusterSimulation:
         locality_penalty_ms: float = 5.0,
         health_penalty_ms: float = 50.0,
         replan_interval_ms: float = 250.0,
+        engine: str = "event",
     ) -> None:
         if isinstance(templates, SystemConfig):
             templates = [templates]
         if not templates:
             raise ValueError("need at least one node template")
+        if engine not in ("event", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
         self.templates = list(templates)
         self.app = app
         self.design_spaces = design_spaces
@@ -450,24 +461,38 @@ class ClusterSimulation:
         """Replay a utilization trace (the diurnal Google-trace study at
         fleet scale).  ``compress`` shrinks each trace interval by that
         factor of simulated time; arrivals come from the dedicated
-        arrival child stream, so the replay is seed-deterministic."""
-        from ..runtime.loadgen import trace_arrivals
+        arrival child stream, so the replay is seed-deterministic.
 
+        Routed through :class:`~repro.runtime.loadgen.ArrivalSpec` —
+        the same declarative stream path ``run_simulation`` uses, so
+        trace modulation can never drift between the single-node and
+        fleet drivers."""
         if compress <= 0:
             raise ValueError("compress must be positive")
         interval_ms = trace.interval_s * 1000.0 / compress
-        arrivals = trace_arrivals(
-            trace.utilization, interval_ms, peak_rps, rng=self.arrival_rng()
-        )
+        spec = ArrivalSpec.trace(trace.utilization, interval_ms, peak_rps)
         horizon_ms = len(trace.utilization) * interval_ms
-        return self.run(arrivals, horizon_ms=horizon_ms)
+        return self.run(spec, horizon_ms=horizon_ms)
 
     def run(
         self,
-        arrivals_ms: Sequence[float],
+        arrivals_ms: Union[Sequence[float], ArrivalSpec],
         horizon_ms: Optional[float] = None,
     ) -> ClusterResult:
-        """Route one sorted arrival stream through the fleet."""
+        """Route one sorted arrival stream through the fleet.
+
+        ``arrivals_ms`` may be an :class:`ArrivalSpec`, realized here
+        through the dedicated arrival child stream — the code path
+        shared with ``run_simulation``.  The drive loop runs on the
+        global event heap (``engine="event"``, the default): autoscaler
+        evaluations are SCALE events, arrivals are chunked ARRIVAL
+        events split at evaluation boundaries, and each node serves its
+        requests through a persistent :class:`EventHeapEngine` session.
+        ``engine="legacy"`` keeps the original per-arrival loop; seeded
+        runs are float-identical across the two (golden-tested).
+        """
+        if isinstance(arrivals_ms, ArrivalSpec):
+            arrivals_ms = arrivals_ms.generate(self.arrival_rng())
         if not len(arrivals_ms):
             raise ValueError("empty arrival stream")
         if self._nodes:
@@ -579,25 +604,83 @@ class ClusterSimulation:
             )
 
         req_seq = 0
-        for t in ordered:
-            while next_eval <= t:
+        if self.engine == "legacy":
+            for t in ordered:
+                while next_eval <= t:
+                    evaluate(next_eval, window_arrivals)
+                    window_arrivals = 0
+                    next_eval += eval_ms
+                self._promote(t)
+                serving = [
+                    n for n in self._nodes if n.state is NodeState.SERVING
+                ]
+                req_seq += 1
+                node = self.dispatcher.route(
+                    t, self._signature, serving, req=req_seq
+                )
+                record = node.leaf.submit(t)
+                node.planned_signatures.add(self._signature)
+                node.served += 1
+                records.append(record)
+                node_ids.append(node.node_id)
+                window_arrivals += 1
+            while next_eval <= horizon:
                 evaluate(next_eval, window_arrivals)
                 window_arrivals = 0
                 next_eval += eval_ms
-            self._promote(t)
-            serving = [n for n in self._nodes if n.state is NodeState.SERVING]
-            req_seq += 1
-            node = self.dispatcher.route(t, self._signature, serving, req=req_seq)
-            record = node.leaf.submit(t)
-            node.planned_signatures.add(self._signature)
-            node.served += 1
-            records.append(record)
-            node_ids.append(node.node_id)
-            window_arrivals += 1
-        while next_eval <= horizon:
-            evaluate(next_eval, window_arrivals)
-            window_arrivals = 0
-            next_eval += eval_ms
+        else:
+            # Event-heap drive: SCALE events carry the evaluation grid
+            # (accumulated exactly like the legacy loop, so interval
+            # timestamps match float-for-float); arrivals go in as
+            # chunked ARRIVAL events split at evaluation boundaries.
+            # Same-time ties pop SCALE before ARRIVAL — the taxonomy
+            # order mirrors the legacy ``while next_eval <= t`` drain.
+            heap = EventHeap()
+            bounds: List[float] = []
+            while next_eval <= horizon:
+                bounds.append(next_eval)
+                next_eval += eval_ms
+            for bound in bounds:
+                heap.push(bound, EventKind.SCALE, None)
+            arr = np.asarray(ordered, dtype=float)
+            i = 0
+            for bound in bounds:
+                j = int(np.searchsorted(arr, bound, side="left"))
+                while i < j:
+                    k = min(i + ARRIVAL_CHUNK, j)
+                    heap.push(ordered[i], EventKind.ARRIVAL, ordered[i:k])
+                    i = k
+            #: One engine session per node, living across its whole
+            #: service life (fault-injected nodes auto-delegate to
+            #: ``submit``, keeping chaos replays bit-identical).
+            sessions: Dict[str, EventHeapEngine] = {}
+            while heap:
+                ev = heap.pop()
+                if ev.kind is EventKind.SCALE:
+                    evaluate(ev.t_ms, window_arrivals)
+                    window_arrivals = 0
+                    continue
+                for t in ev.payload:
+                    self._promote(t)
+                    serving = [
+                        n for n in self._nodes if n.state is NodeState.SERVING
+                    ]
+                    req_seq += 1
+                    node = self.dispatcher.route(
+                        t, self._signature, serving, req=req_seq
+                    )
+                    session = sessions.get(node.node_id)
+                    if session is None:
+                        session = EventHeapEngine(node.leaf)
+                        sessions[node.node_id] = session
+                    record = session.process(t)
+                    node.planned_signatures.add(self._signature)
+                    node.served += 1
+                    records.append(record)
+                    node_ids.append(node.node_id)
+                    window_arrivals += 1
+            for session in sessions.values():
+                session.finalize()
 
         result = self._assemble(
             records, node_ids, intervals, up_lags, down_lags, horizon, eval_ms

@@ -166,6 +166,11 @@ class SpanTracer(NullTracer):
     increasing ``seq``; because the simulator is single-threaded over a
     deterministic arrival stream, the full event list is a pure function
     of (system, app, arrivals, seed, fault schedule).
+
+    An enabled tracer flips the event-heap engine into delegated mode
+    (each arrival executes through ``LeafNode.submit``, where the hooks
+    live), so traced runs emit the identical stream under either
+    simulation engine — golden-tested in ``tests/test_engine.py``.
     """
 
     enabled = True

@@ -9,7 +9,9 @@ from .cluster import (
     provision,
     setting,
 )
+from .engine import EventHeap, EventHeapEngine, EventKind
 from .loadgen import (
+    ArrivalSpec,
     constant_arrivals,
     flash_crowd_arrivals,
     pareto_poisson_arrivals,
@@ -38,6 +40,10 @@ __all__ = [
     "setting",
     "SETTINGS",
     "DEFAULT_POWER_CAP_W",
+    "ArrivalSpec",
+    "EventHeap",
+    "EventHeapEngine",
+    "EventKind",
     "constant_arrivals",
     "poisson_arrivals",
     "trace_arrivals",

@@ -1,0 +1,1026 @@
+"""Global event-heap simulation engine.
+
+The simulator's original inner loop dispatched every request through
+``LeafNode.submit`` — a per-request tower of method calls, dict plumbing
+and dataclass construction.  This module replaces that loop with a
+single global event heap and an incremental-EST fast path:
+
+* **One event stream.** All simulation time advances through an
+  :class:`EventHeap` of typed :class:`EventKind` events — arrivals
+  (batched into chunks), autoscaler scale evaluations (cluster driver),
+  fault/heartbeat delivery (delegated runs) and kernel completions
+  (validation mode).  Same-time events pop in taxonomy order, FIFO
+  within a kind, so interleavings are deterministic by construction.
+
+* **Incremental EST tables.** Per plan, the engine compiles each
+  kernel's dispatch entries once — batch-1..``MAX_GPU_BATCH`` latency/
+  power ladders, device rows with integer tie-break ranks, PCIe
+  transfer costs per DAG edge — and keeps earliest-start state (device
+  horizons, open GPU batches, loaded FPGA bitstreams) updated at
+  reservation commit instead of recomputing per request.  Device
+  horizons stay write-through on the :class:`AcceleratorInstance`, so
+  external readers (cluster dispatcher queue depths, the load signal)
+  always see fresh state.
+
+* **The bit-identity contract.** Seeded runs are float-identical to the
+  legacy loop: the fast path replays the exact float expressions of
+  ``LeafNode._execute_kernel_fast`` (itself golden-tested against the
+  plain path), draws noise from the same buffered log-normal stream
+  (numpy's vectorized draws match scalar draws bit-for-bit — the
+  PR 5 replay technique), and folds the monitor's EWMA correction
+  inline with identical arithmetic.  Runs the fast path cannot replay
+  exactly — fault injection (extra RNG consumers, heartbeats) or an
+  enabled tracer (per-request event emission) — are *delegated*:
+  the heap still orders the arrivals, but each one executes through
+  ``LeafNode.submit`` itself, which is trivially identical.
+
+Golden A/B tests (``tests/test_engine.py``) hold the two engines
+bit-identical on seeded fault-free and chaos runs; ``repro bench
+--suite sim`` gates the speedup.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import IntEnum
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.specs import DeviceType
+from .node import MAX_GPU_BATCH, NOISE_SIGMA, LeafNode, RequestRecord
+
+__all__ = ["EventKind", "Event", "EventHeap", "EventHeapEngine"]
+
+#: Arrivals are pushed in chunks of this size: one heap transaction
+#: amortizes over many requests while staying interruptible by
+#: earlier-timestamped events (completions in validation mode).
+ARRIVAL_CHUNK = 1024
+
+#: Process-wide cache of compiled dispatch-program code objects, keyed
+#: by generated source (identical plans on identical node configs
+#: generate identical source; the population is one entry per distinct
+#: plan shape, so the cache stays small).
+_CODE_CACHE: Dict[str, object] = {}
+
+
+class EventKind(IntEnum):
+    """Typed simulation events.  The integer value doubles as the
+    tie-break priority at equal timestamps: scale evaluations run
+    before the arrivals of the same instant (matching the legacy
+    ``while next_eval <= t`` drain), completions free devices before
+    same-time arrivals see them, dispatches trail their arrival."""
+
+    SCALE = 0
+    FAULT = 1
+    HEARTBEAT = 2
+    KERNEL_COMPLETE = 3
+    ARRIVAL = 4
+    DISPATCH = 5
+
+
+class Event(NamedTuple):
+    t_ms: float
+    kind: EventKind
+    payload: object
+
+
+class EventHeap:
+    """Stable min-heap of timed events.
+
+    Ordered by ``(t_ms, kind, seq)``: time first, taxonomy priority at
+    ties, insertion order within a kind.  Popping is therefore globally
+    deterministic for any push order of the same event set.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def push(self, t_ms: float, kind: EventKind, payload: object = None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t_ms, int(kind), self._seq, payload))
+
+    def pop(self) -> Event:
+        t_ms, kind, _, payload = heapq.heappop(self._heap)
+        return Event(t_ms, EventKind(kind), payload)
+
+    def peek(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        t_ms, kind, _, payload = self._heap[0]
+        return Event(t_ms, EventKind(kind), payload)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# Compiled dispatch-entry field layout (tuples, not dataclasses: the
+# inner loop indexes them):
+#   entry = (rows, lat1, impl_key, is_gpu, overflow_ms, power1,
+#            lats, pows, point_index, kernel_name, fill)
+# where lats/pows are 1-indexed per-batch ladders (GPU, lazily filled
+# through ``fill`` — 0.0 marks an unfilled cell, latencies are always
+# positive) or None (FPGA), and each device row is the mutable list
+#   row = [device, open_batches, pending_rows, rank, reconfig_ms]
+# with open-batch cells [launch_ms, end_ms, size, row_ref, noise].
+# Rows are rank-sorted, so a pool scan needs only a strict ``<`` —
+# the first minimum seen is the lowest-ranked one.
+
+
+def _make_fill(node, platform, name, point, lats, pows):
+    """Lazy GPU-ladder cell fill: evaluates the hardware model for one
+    batch size on first use (exactly the sizes the legacy loop's
+    ``_latency_fn`` cache would see) and memoizes it in the ladder."""
+
+    def fill(size: int) -> float:
+        lat, power = node._latency_of_platform(platform, name, point, size)
+        lats[size] = lat
+        pows[size] = power
+        return lat
+
+    return fill
+
+
+class EventHeapEngine:
+    """Event-heap replay of one :class:`LeafNode`'s request stream.
+
+    ``run`` drives a whole sorted stream; ``process`` admits a single
+    arrival (the cluster driver's per-route entry point).  Call
+    :meth:`finalize` once after the last arrival to flush the inlined
+    monitor state and the noise-buffer cursor back onto the node.
+
+    Runs the fast path cannot replicate exactly — an attached fault
+    injector or an enabled tracer — are delegated to ``node.submit``
+    per arrival (``delegated`` is True); everything the engine promises
+    about bit-identity then holds trivially.
+    """
+
+    def __init__(self, node: LeafNode, validate: bool = False) -> None:
+        self._node = node
+        self._validate = validate
+        self.delegated = node._injector is not None or node.tracer.enabled
+        self.heap = EventHeap()
+        #: Validation-mode accounting (see :meth:`run`).
+        self.dispatched = 0
+        self.completions_drained = 0
+        self._last_pop_ms = -float("inf")
+
+        mon = node.monitor
+        self._corr = mon._correction
+        self._alpha = mon.ewma_alpha
+        self._corr_lo, self._corr_hi = mon.correction_bounds
+        self._window = mon.window
+        self._arr: List[float] = []
+        self._lats: List[float] = []
+
+        #: Buffered noise draws, adopted from the node (same stream).
+        self._nbuf: List[float] = node._noise_buf.tolist()
+        self._npos = node._noise_pos
+
+        self._req_arr: List[float] = []
+        self._req_comp: List[float] = []
+        self._req_pred: List[float] = []
+        self._max_comp = 0.0
+
+        #: Integer tie-break ranks, ordered by device_id — isomorphic to
+        #: the legacy string comparisons (ids are unique).
+        self._ranks = {
+            d.device_id: i
+            for i, d in enumerate(
+                sorted(node.devices, key=lambda d: d.device_id)
+            )
+        }
+        self._rows: Dict[int, list] = {}
+        self._compiled: Dict[int, tuple] = {}
+        self._steps: list = []
+        #: Compiled dispatch program for the current plan (codegen path).
+        self._fn: Any = None
+        self._codegen_src = ""
+        self._plan_ok = False
+        self._win = 0.0
+        self._makespan = 0.0
+        self._last_replan = node._last_replan_ms
+
+        order = node._topo_order
+        self._kindex = {name: i for i, name in enumerate(order)}
+        self._ends_t = [0.0] * len(order)
+        self._ends_dev: List[object] = [None] * len(order)
+        sinks = tuple(self._kindex[s] for s in node._sinks)
+        self._sinks = sinks
+        self._single_sink = sinks[0] if len(sinks) == 1 else -1
+        self._finalized = False
+
+    # -- driving --------------------------------------------------------------
+
+    def run(
+        self,
+        ordered: Sequence[float],
+        priorities: Optional[Sequence[float]] = None,
+    ) -> List[RequestRecord]:
+        """Replay a sorted arrival stream and return its request records.
+
+        Fast-path runs push the stream as chunked ARRIVAL events (and,
+        in validation mode, one KERNEL_COMPLETE per dispatch, checked
+        for monotone pop order and conservation against the dispatch
+        count).  Delegated runs push one ARRIVAL per request and submit
+        each through the node.
+        """
+        heap = self.heap
+        if self.delegated:
+            node = self._node
+            if priorities is None:
+                for t in ordered:
+                    heap.push(t, EventKind.ARRIVAL, 1.0)
+            else:
+                for t, p in zip(ordered, priorities):
+                    heap.push(t, EventKind.ARRIVAL, p)
+            records = []
+            while heap:
+                ev = heap.pop()
+                records.append(node.submit(ev.t_ms, priority=ev.payload))
+            self.finalize()
+            return records
+
+        n = len(ordered)
+        for i in range(0, n, ARRIVAL_CHUNK):
+            heap.push(
+                ordered[i], EventKind.ARRIVAL, ordered[i : i + ARRIVAL_CHUNK]
+            )
+        while heap:
+            ev = heap.pop()
+            if ev.t_ms < self._last_pop_ms:
+                raise AssertionError(
+                    f"event heap popped backwards: {ev.t_ms} after "
+                    f"{self._last_pop_ms}"
+                )
+            self._last_pop_ms = ev.t_ms
+            if ev.kind is EventKind.ARRIVAL:
+                self._process_chunk(ev.payload)
+            elif ev.kind is EventKind.KERNEL_COMPLETE:
+                self.completions_drained += 1
+        self.finalize()
+        return self.records()
+
+    def process(self, t_ms: float, priority: float = 1.0) -> RequestRecord:
+        """Admit one arrival (the cluster driver's entry point)."""
+        if self.delegated:
+            return self._node.submit(t_ms, priority=priority)
+        self._process_chunk((t_ms,))
+        return RequestRecord(
+            self._req_arr[-1], self._req_comp[-1], self._req_pred[-1]
+        )
+
+    def records(self) -> List[RequestRecord]:
+        """Materialize the per-request records (fast-path runs)."""
+        return [
+            RequestRecord(a, c, p)
+            for a, c, p in zip(self._req_arr, self._req_comp, self._req_pred)
+        ]
+
+    @property
+    def max_completion_ms(self) -> float:
+        return self._max_comp
+
+    def finalize(self) -> None:
+        """Flush inlined state back onto the node: the monitor's
+        sliding windows (deque ``maxlen`` truncates identically to
+        per-request appends), the EWMA correction, and the noise-buffer
+        cursor — after this the node is indistinguishable from one that
+        ran the legacy loop."""
+        if self._finalized or self.delegated:
+            self._finalized = True
+            return
+        node = self._node
+        mon = node.monitor
+        mon._arrival_times.extend(self._arr)
+        mon._latencies.extend(self._lats)
+        mon._correction = self._corr
+        self._arr = []
+        self._lats = []
+        node._noise_buf = np.asarray(self._nbuf)
+        node._noise_pos = self._npos
+        self._finalized = True
+
+    # -- plan compilation ------------------------------------------------------
+
+    def _row(self, dev) -> list:
+        row = self._rows.get(id(dev))
+        if row is None:
+            row = [
+                dev,
+                {},
+                dev.adopt_row_store(),
+                self._ranks[dev.device_id],
+                dev.reconfig_ms,
+            ]
+            self._rows[id(dev)] = row
+        return row
+
+    def _compile(self, plan) -> list:
+        """Compile the active plan into per-kernel dispatch steps.
+
+        Same sources as ``LeafNode._compiled_table`` (live platform
+        pools, the shared latency cache), extended with the full
+        per-batch GPU ladder so joins never call back into the model,
+        and with predecessor/transfer indices resolved to integers.
+        """
+        node = self._node
+        live = node._live_by_platform()
+        kindex = self._kindex
+        steps = []
+        for ki, name in enumerate(node._topo_order):
+            per_platform = plan.get(name)
+            entries = []
+            if per_platform:
+                for platform, point in per_platform.items():
+                    devs = live.get(platform)
+                    if not devs:
+                        continue
+                    lat1, power1 = node._latency_of_platform(
+                        platform, name, point, 1
+                    )
+                    is_gpu = devs[0].device_type == DeviceType.GPU
+                    fill = None
+                    if is_gpu:
+                        # Lazy ladder: only batch-1 up front, higher
+                        # sizes filled on first join — the same model
+                        # evaluations, in the same order, as the legacy
+                        # loop's per-size ``_latency_fn`` cache.
+                        lats = [0.0] * (MAX_GPU_BATCH + 1)
+                        pows = [0.0] * (MAX_GPU_BATCH + 1)
+                        lats[1], pows[1] = lat1, power1
+                        fill = _make_fill(
+                            node, platform, name, point, lats, pows
+                        )
+                    else:
+                        lats = pows = None
+                    rows = sorted(
+                        (self._row(d) for d in devs),
+                        key=lambda r: r[3],
+                    )
+                    entries.append(
+                        (
+                            rows,
+                            lat1,
+                            (name, point.index),
+                            is_gpu,
+                            node._OVERFLOW_FACTOR * point.latency_ms,
+                            power1,
+                            lats,
+                            pows,
+                            point.index,
+                            name,
+                            fill,
+                        )
+                    )
+            if not entries:
+                raise RuntimeError(f"kernel {name!r} has no planned platform")
+            preds = tuple(
+                (kindex[p], node._xfer_ms[(p, name)])
+                for p in node._preds[name]
+            )
+            steps.append((ki, entries, preds))
+        return steps
+
+    def _sync_plan(self, t_ms: float) -> None:
+        """Replan through the node (same signal path, same state
+        mutations) and point the fast loop at the compiled table for
+        whichever plan object is now active."""
+        node = self._node
+        node.maybe_replan(t_ms)
+        plan = node._plan
+        self._plan_ok = bool(plan)
+        self._last_replan = node._last_replan_ms
+        self._makespan = node._plan_makespan_ms
+        if node._is_poly:
+            self._win = node._win_loaded if node._was_loaded else 0.0
+        else:
+            self._win = node.system.batch_window_ms
+        if not plan:
+            return
+        cached = self._compiled.get(id(plan))
+        if cached is None or cached[0] is not plan:
+            steps = self._compile(plan)
+            fn = None if self._validate else self._codegen(steps)
+            cached = (plan, steps, fn)
+            self._compiled[id(plan)] = cached
+        self._steps = cached[1]
+        self._fn = cached[2]
+
+    # -- dispatch-program generation -------------------------------------------
+
+    def _codegen(self, steps):
+        """Specialize the compiled tables into one straight-line chunk
+        runner for this plan.
+
+        The generated function unrolls every kernel step: pool scans
+        become rank-ordered straight-line comparisons (strict ``<`` —
+        the rows are rank-sorted, so the first minimum is the
+        tie-break winner), per-entry constants (batch-1 latencies,
+        impl keys, PCIe transfer costs, overflow thresholds) are baked
+        in as literals or bound objects, and device horizons / loaded
+        bitstreams / DAG end times live in plain locals, synced back to
+        the authoritative objects when the runner returns — at every
+        replan boundary and chunk end, so external readers (the replan
+        signal path, the cluster dispatcher) always observe fresh
+        state.  Float expressions are copied verbatim from the generic
+        interpreter, so the two stay bit-identical by construction.
+
+        Returns a function
+        ``run(chunk, i, t_limit, win, mk, corr, npos, nbuf, max_comp)``
+        that admits ``chunk[i:]`` until a timestamp reaches ``t_limit``
+        (the next replan boundary) and returns the updated cursor and
+        carried state.
+        """
+        node = self._node
+        consts: list = []
+        bound: List[str] = []
+
+        def bind(value, base: str) -> str:
+            name = f"{base}{len(consts)}"
+            consts.append(value)
+            bound.append(name)
+            return name
+
+        # One local slot per device the plan touches: h<d> horizon,
+        # l<d> loaded bitstream (FPGA pools only).
+        dev_slot: Dict[int, int] = {}
+        dev_name: List[str] = []
+        dev_fpga: List[bool] = []
+        dev_row: List[list] = []
+        ename: Dict[int, Dict[str, str]] = {}
+        for _ki, entries, _preds in steps:
+            for entry in entries:
+                for row in entry[0]:
+                    key = id(row[0])
+                    if key not in dev_slot:
+                        dev_slot[key] = len(dev_name)
+                        dev_name.append(bind(row[0], "D"))
+                        dev_fpga.append(not entry[3])
+                        dev_row.append(row)
+                    elif not entry[3]:
+                        dev_fpga[dev_slot[key]] = True
+                names = ename.setdefault(id(entry), {})
+                if not names:
+                    names["K"] = bind(entry[2], "K")
+                    names["N"] = bind(entry[9], "N")
+                    if entry[3]:
+                        names["LT"] = bind(entry[6], "LT")
+                        names["PW"] = bind(entry[7], "PW")
+                        names["FL"] = bind(entry[10], "FL")
+        ra_name = {
+            id(row[0]): bind(row[2].append, "RA") for row in dev_row
+        }
+        bd_name = {id(row[0]): bind(row[1], "BD") for row in dev_row}
+
+        ET = bind(self._ends_t, "ET")
+        ED = bind(self._ends_dev, "ED")
+        LATA = bind(self._lats.append, "LATA")
+        RCA = bind(self._req_comp.append, "RCA")
+        RPA = bind(self._req_pred.append, "RPA")
+        LN = bind(node._rng.lognormal, "LN")
+        sigma = repr(NOISE_SIGMA)
+        maxb = repr(int(MAX_GPU_BATCH))
+        alpha = repr(self._alpha)
+        clo = repr(self._corr_lo)
+        chi = repr(self._corr_hi)
+
+        out: List[str] = []
+        emit = out.append
+
+        def scan_code(
+            pad: str, entry, row, f_var: str, br: str = "br"
+        ) -> None:
+            """Finish-time estimate for one device row (verbatim the
+            generic interpreter's expressions)."""
+            nm = ename[id(entry)]
+            di = dev_slot[id(row[0])]
+            h = f"h{di}"
+            if entry[3]:
+                bd = bd_name[id(row[0])]
+                emit(f"{pad}b = {bd}.get({nm['K']})")
+                emit(
+                    f"{pad}if b is not None and b[0] >= {br} "
+                    f"and b[2] < {maxb}:"
+                )
+                emit(f"{pad}    lv = {nm['LT']}[b[2] + 1]")
+                emit(f"{pad}    if lv == 0.0:")
+                emit(f"{pad}        lv = {nm['FL']}(b[2] + 1)")
+                emit(f"{pad}    {f_var} = b[0] + lv")
+                emit(f"{pad}else:")
+                emit(
+                    f"{pad}    {f_var} = ({h} if {h} > {br} else {br})"
+                    f" + {entry[1]!r}"
+                )
+            else:
+                li = f"l{di}"
+                emit(f"{pad}s = {h} if {h} > {br} else {br}")
+                emit(f"{pad}if {li} is not None and {li} != {nm['K']}:")
+                emit(f"{pad}    s += {row[4]!r}")
+                emit(f"{pad}{f_var} = s + {entry[1]!r}")
+
+        def dispatch_code(pad: str, ki: int, entry, row, preds) -> None:
+            """Reservation commit on the winning (entry, device)."""
+            nm = ename[id(entry)]
+            di = dev_slot[id(row[0])]
+            dn = dev_name[di]
+            h = f"h{di}"
+            if not preds:
+                emit(f"{pad}ready = t")
+            else:
+                j0, x0 = preds[0]
+                emit(
+                    f"{pad}p = e{j0} if d{j0} is {dn} "
+                    f"else e{j0} + {x0!r}"
+                )
+                emit(f"{pad}ready = p if p > t else t")
+                for j, x in preds[1:]:
+                    emit(
+                        f"{pad}p = e{j} if d{j} is {dn} "
+                        f"else e{j} + {x!r}"
+                    )
+                    emit(f"{pad}if p > ready: ready = p")
+            if entry[3]:
+                bd = bd_name[id(row[0])]
+                emit(f"{pad}b = {bd}.get({nm['K']})")
+                emit(
+                    f"{pad}if b is not None and b[0] >= ready "
+                    f"and b[2] < {maxb}:"
+                )
+                emit(f"{pad}    oe = b[1]")
+                emit(f"{pad}    sz = b[2] + 1")
+                emit(f"{pad}    b[2] = sz")
+                emit(f"{pad}    lv = {nm['LT']}[sz]")
+                emit(f"{pad}    if lv == 0.0:")
+                emit(f"{pad}        lv = {nm['FL']}(sz)")
+                emit(f"{pad}    end = b[0] + lv * b[4]")
+                emit(f"{pad}    b[1] = end")
+                emit(f"{pad}    rec = b[3]")
+                emit(f"{pad}    rec[3] = end")
+                emit(f"{pad}    rec[4] = {nm['PW']}[sz]")
+                emit(f"{pad}    rec[5] = sz")
+                emit(f"{pad}    hh = {h} + (end - oe)")
+                emit(f"{pad}    {h} = hh if hh > end else end")
+                emit(f"{pad}else:")
+                emit(f"{pad}    rw = ready + win")
+                emit(f"{pad}    la = {h} if {h} > rw else rw")
+                emit(f"{pad}    end = la + {entry[1]!r} * noise")
+                emit(
+                    f"{pad}    rec = [{nm['N']}, {entry[8]!r}, la, end, "
+                    f"{entry[5]!r}, 1]"
+                )
+                emit(f"{pad}    {ra_name[id(row[0])]}(rec)")
+                emit(f"{pad}    {h} = end")
+                emit(f"{pad}    {bd}[{nm['K']}] = [la, end, 1, rec, noise]")
+            else:
+                li = f"l{di}"
+                emit(f"{pad}st = {h} if {h} > ready else ready")
+                emit(f"{pad}if {li} is not None and {li} != {nm['K']}:")
+                emit(f"{pad}    st += {row[4]!r}")
+                emit(f"{pad}{li} = {nm['K']}")
+                emit(f"{pad}end = st + {entry[1]!r} * noise")
+                emit(
+                    f"{pad}{ra_name[id(row[0])]}(({nm['N']}, {entry[8]!r}, "
+                    f"st, end, {entry[5]!r}, 1))"
+                )
+                emit(f"{pad}{h} = end")
+            emit(f"{pad}e{ki} = end")
+            emit(f"{pad}d{ki} = {dn}")
+
+        params = ", ".join(
+            f"{name}=_C[{idx}]" for idx, name in enumerate(bound)
+        )
+        emit("def _make(_C):")
+        emit(
+            "    def _run(chunk, i, t_limit, win, mk, corr, npos, nbuf,"
+            f" max_comp, {params}):"
+        )
+        emit("        n = len(chunk)")
+        emit("        nlen = len(nbuf)")
+        for ki in range(len(steps)):
+            emit(f"        e{ki} = {ET}[{ki}]")
+            emit(f"        d{ki} = {ED}[{ki}]")
+        for di, dn in enumerate(dev_name):
+            emit(f"        h{di} = {dn}.horizon_ms")
+            if dev_fpga[di]:
+                emit(f"        l{di} = {dn}.loaded_impl")
+        emit("        while i < n:")
+        emit("            t = chunk[i]")
+        emit("            if t >= t_limit:")
+        emit("                break")
+        emit("            i += 1")
+
+        pad = "            "
+        for ki, entries, preds in steps:
+            if preds:
+                j0 = preds[0][0]
+                emit(f"{pad}br = e{j0} if e{j0} > t else t")
+                for j, _x in preds[1:]:
+                    emit(f"{pad}if e{j} > br: br = e{j}")
+            else:
+                emit(f"{pad}br = t")
+
+            primary = entries[0]
+            branches = [
+                (entry, row) for entry in entries for row in entry[0]
+            ]
+            single = len(branches) == 1
+            has_alts = len(entries) > 1
+
+            if not single:
+                first = True
+                bw = 0
+                for row in primary[0]:
+                    if first:
+                        scan_code(pad, primary, row, "bf")
+                        if has_alts:
+                            emit(f"{pad}brk = {row[3]}")
+                        emit(f"{pad}bw = 0")
+                        first = False
+                    else:
+                        scan_code(pad, primary, row, "f")
+                        emit(f"{pad}if f < bf:")
+                        emit(f"{pad}    bf = f")
+                        if has_alts:
+                            emit(f"{pad}    brk = {row[3]}")
+                        emit(f"{pad}    bw = {bw}")
+                    bw += 1
+                if has_alts:
+                    emit(f"{pad}if bf - br > {primary[4]!r}:")
+                    apad = pad + "    "
+                    for alt in entries[1:]:
+                        for row in alt[0]:
+                            scan_code(apad, alt, row, "f")
+                            emit(
+                                f"{apad}if f < bf or "
+                                f"(f == bf and {row[3]} < brk):"
+                            )
+                            emit(f"{apad}    bf = f")
+                            emit(f"{apad}    brk = {row[3]}")
+                            emit(f"{apad}    bw = {bw}")
+                            bw += 1
+
+            emit(f"{pad}if npos >= nlen:")
+            emit(f"{pad}    nbuf = {LN}(0.0, {sigma}, 2048).tolist()")
+            emit(f"{pad}    nlen = 2048")
+            emit(f"{pad}    npos = 0")
+            emit(f"{pad}noise = nbuf[npos]")
+            emit(f"{pad}npos += 1")
+
+            if single:
+                dispatch_code(pad, ki, branches[0][0], branches[0][1], preds)
+            else:
+                for bw, (entry, row) in enumerate(branches):
+                    if bw == 0:
+                        emit(f"{pad}if bw == 0:")
+                    else:
+                        emit(f"{pad}elif bw == {bw}:")
+                    dispatch_code(pad + "    ", ki, entry, row, preds)
+
+        sinks = self._sinks
+        emit(f"{pad}comp = e{sinks[0]}")
+        for s in sinks[1:]:
+            emit(f"{pad}if e{s} > comp: comp = e{s}")
+        emit(f"{pad}if comp > max_comp:")
+        emit(f"{pad}    max_comp = comp")
+        emit(f"{pad}lat = comp - t")
+        emit(f"{pad}{LATA}(lat)")
+        emit(f"{pad}{RCA}(comp)")
+        emit(f"{pad}{RPA}(mk)")
+        emit(f"{pad}if mk > 0.0:")
+        emit(f"{pad}    r = lat / mk")
+        emit(f"{pad}    if r < {clo}:")
+        emit(f"{pad}        r = {clo}")
+        emit(f"{pad}    elif r > {chi}:")
+        emit(f"{pad}        r = {chi}")
+        emit(f"{pad}    corr += {alpha} * (r - corr)")
+
+        for di, dn in enumerate(dev_name):
+            emit(f"        {dn}.horizon_ms = h{di}")
+            if dev_fpga[di]:
+                emit(f"        {dn}.loaded_impl = l{di}")
+        for ki in range(len(steps)):
+            emit(f"        {ET}[{ki}] = e{ki}")
+            emit(f"        {ED}[{ki}] = d{ki}")
+        emit("        return i, corr, npos, nbuf, max_comp")
+        emit("    return _run")
+
+        src = "\n".join(out) + "\n"
+        self._codegen_src = src
+        # Bytecode compilation dominates generation cost; the source is
+        # deterministic for a given (plan, node config), so the code
+        # object is shared process-wide (fresh engines re-bind their
+        # own constants through ``_make``).
+        code = _CODE_CACHE.get(src)
+        if code is None:
+            code = compile(src, "<dispatch-program>", "exec")
+            _CODE_CACHE[src] = code
+        namespace: Dict[str, object] = {"len": len}
+        exec(code, namespace)
+        return namespace["_make"](consts)
+
+    # -- the fast path ---------------------------------------------------------
+
+    def _process_chunk(self, chunk: Sequence[float]) -> None:
+        """Admit a chunk of arrivals through the compiled dispatch
+        program (or the generic interpreter in validation mode).
+
+        Both paths are float-expression-identical to
+        ``LeafNode._execute_kernel_fast`` per kernel, with the
+        monitor's bookkeeping inlined (EWMA correction folded
+        sequentially; queue depth nets to zero per request; the sliding
+        windows are rebuilt at finalize).
+        """
+        if self._validate:
+            self._process_chunk_generic(chunk)
+            return
+        node = self._node
+        interval = node.replan_interval_ms
+        self._arr.extend(chunk)
+        self._req_arr.extend(chunk)
+        i = 0
+        n = len(chunk)
+        while i < n:
+            t = chunk[i]
+            if not self._plan_ok or t - self._last_replan >= interval:
+                self._sync_plan(t)
+                if not self._plan_ok:
+                    raise RuntimeError("node has no plan (fast path)")
+            (
+                i,
+                self._corr,
+                self._npos,
+                self._nbuf,
+                self._max_comp,
+            ) = self._fn(
+                chunk,
+                i,
+                self._last_replan + interval,
+                self._win,
+                self._makespan,
+                self._corr,
+                self._npos,
+                self._nbuf,
+                self._max_comp,
+            )
+        w = self._window
+        if len(self._lats) > 4 * w:
+            del self._lats[: len(self._lats) - w]
+        if len(self._arr) > 4 * w:
+            del self._arr[: len(self._arr) - w]
+
+    def _process_chunk_generic(self, chunk: Sequence[float]) -> None:
+        """Interpreter twin of the compiled dispatch program — same
+        float expressions over the same tables, one table lookup at a
+        time.  Validation mode runs it so every dispatch can push its
+        KERNEL_COMPLETE event through the heap."""
+        node = self._node
+        interval = node.replan_interval_ms
+        last = self._last_replan
+        plan_ok = self._plan_ok
+        steps = self._steps
+        win = self._win
+        makespan = self._makespan
+        single_sink = self._single_sink
+        sinks = self._sinks
+        ends_t = self._ends_t
+        ends_dev = self._ends_dev
+        nbuf = self._nbuf
+        npos = self._npos
+        nlen = len(nbuf)
+        lognormal = node._rng.lognormal
+        corr = self._corr
+        alpha = self._alpha
+        lo = self._corr_lo
+        hi = self._corr_hi
+        arr_append = self._arr.append
+        lat_append = self._lats.append
+        req_arr = self._req_arr.append
+        req_comp = self._req_comp.append
+        req_pred = self._req_pred.append
+        max_comp = self._max_comp
+        validate = self._validate
+        inf = float("inf")
+
+        for t in chunk:
+            if not plan_ok or t - last >= interval:
+                self._npos = npos
+                self._nbuf = nbuf
+                self._sync_plan(t)
+                last = self._last_replan
+                plan_ok = self._plan_ok
+                steps = self._steps
+                win = self._win
+                makespan = self._makespan
+                nbuf = self._nbuf
+                npos = self._npos
+                nlen = len(nbuf)
+                if not plan_ok:
+                    raise RuntimeError("node has no plan (fast path)")
+
+            for ki, entries, preds in steps:
+                if preds:
+                    br = t
+                    for j, _x in preds:
+                        e = ends_t[j]
+                        if e > br:
+                            br = e
+                else:
+                    br = t
+
+                entry = entries[0]
+                rows = entry[0]
+                lat1 = entry[1]
+                key = entry[2]
+                is_gpu = entry[3]
+                lats = entry[6]
+                best_fin = inf
+                best_rank = 1 << 30
+                best_row = rows[0]
+                if is_gpu:
+                    for row in rows:
+                        b = row[1].get(key)
+                        if (
+                            b is not None
+                            and b[0] >= br
+                            and b[2] < MAX_GPU_BATCH
+                        ):
+                            lv = lats[b[2] + 1]
+                            if lv == 0.0:
+                                lv = entry[10](b[2] + 1)
+                            fin = b[0] + lv
+                        else:
+                            h = row[0].horizon_ms
+                            fin = (h if h > br else br) + lat1
+                        if fin < best_fin or (
+                            fin == best_fin and row[3] < best_rank
+                        ):
+                            best_fin = fin
+                            best_rank = row[3]
+                            best_row = row
+                else:
+                    for row in rows:
+                        h = row[0].horizon_ms
+                        s = h if h > br else br
+                        li = row[0].loaded_impl
+                        if li is not None and li != key:
+                            s += row[4]
+                        fin = s + lat1
+                        if fin < best_fin or (
+                            fin == best_fin and row[3] < best_rank
+                        ):
+                            best_fin = fin
+                            best_rank = row[3]
+                            best_row = row
+
+                if len(entries) > 1 and best_fin - br > entry[4]:
+                    for alt in entries[1:]:
+                        a_lat1 = alt[1]
+                        a_key = alt[2]
+                        a_lats = alt[6]
+                        if alt[3]:
+                            for row in alt[0]:
+                                b = row[1].get(a_key)
+                                if (
+                                    b is not None
+                                    and b[0] >= br
+                                    and b[2] < MAX_GPU_BATCH
+                                ):
+                                    lv = a_lats[b[2] + 1]
+                                    if lv == 0.0:
+                                        lv = alt[10](b[2] + 1)
+                                    fin = b[0] + lv
+                                else:
+                                    h = row[0].horizon_ms
+                                    fin = (h if h > br else br) + a_lat1
+                                if fin < best_fin or (
+                                    fin == best_fin and row[3] < best_rank
+                                ):
+                                    best_fin = fin
+                                    best_rank = row[3]
+                                    best_row = row
+                                    entry = alt
+                        else:
+                            for row in alt[0]:
+                                h = row[0].horizon_ms
+                                s = h if h > br else br
+                                li = row[0].loaded_impl
+                                if li is not None and li != a_key:
+                                    s += row[4]
+                                fin = s + a_lat1
+                                if fin < best_fin or (
+                                    fin == best_fin and row[3] < best_rank
+                                ):
+                                    best_fin = fin
+                                    best_rank = row[3]
+                                    best_row = row
+                                    entry = alt
+                    lat1 = entry[1]
+                    key = entry[2]
+                    is_gpu = entry[3]
+                    lats = entry[6]
+
+                dev = best_row[0]
+                if preds:
+                    ready = t
+                    for j, x in preds:
+                        e = ends_t[j]
+                        if ends_dev[j] is not dev:
+                            e = e + x
+                        if e > ready:
+                            ready = e
+                else:
+                    ready = t
+
+                if npos >= nlen:
+                    nbuf = lognormal(0.0, NOISE_SIGMA, 2048).tolist()
+                    nlen = 2048
+                    npos = 0
+                noise = nbuf[npos]
+                npos += 1
+
+                if is_gpu:
+                    batches = best_row[1]
+                    b = batches.get(key)
+                    if (
+                        b is not None
+                        and b[0] >= ready
+                        and b[2] < MAX_GPU_BATCH
+                    ):
+                        old_end = b[1]
+                        size = b[2] + 1
+                        b[2] = size
+                        lv = lats[size]
+                        if lv == 0.0:
+                            lv = entry[10](size)
+                        end = b[0] + lv * b[4]
+                        b[1] = end
+                        rec = b[3]
+                        rec[3] = end
+                        rec[4] = entry[7][size]
+                        rec[5] = size
+                        h = dev.horizon_ms + (end - old_end)
+                        dev.horizon_ms = h if h > end else end
+                    else:
+                        h = dev.horizon_ms
+                        rw = ready + win
+                        launch = h if h > rw else rw
+                        end = launch + lat1 * noise
+                        rec = [entry[9], entry[8], launch, end, entry[5], 1]
+                        best_row[2].append(rec)
+                        dev.horizon_ms = end
+                        batches[key] = [launch, end, 1, rec, noise]
+                else:
+                    h = dev.horizon_ms
+                    start = h if h > ready else ready
+                    li = dev.loaded_impl
+                    if li is not None and li != key:
+                        start += best_row[4]
+                    dev.loaded_impl = key
+                    end = start + lat1 * noise
+                    best_row[2].append(
+                        [entry[9], entry[8], start, end, entry[5], 1]
+                    )
+                    dev.horizon_ms = end
+
+                ends_t[ki] = end
+                ends_dev[ki] = dev
+                if validate:
+                    self.dispatched += 1
+                    self.heap.push(end, EventKind.KERNEL_COMPLETE, dev)
+
+            if single_sink >= 0:
+                comp = ends_t[single_sink]
+            else:
+                comp = max(ends_t[s] for s in sinks)
+            if comp > max_comp:
+                max_comp = comp
+            lat = comp - t
+            arr_append(t)
+            lat_append(lat)
+            req_arr(t)
+            req_comp(comp)
+            req_pred(makespan)
+            if makespan > 0.0:
+                ratio = lat / makespan
+                if ratio < lo:
+                    ratio = lo
+                elif ratio > hi:
+                    ratio = hi
+                corr += alpha * (ratio - corr)
+
+        self._corr = corr
+        self._nbuf = nbuf
+        self._npos = npos
+        self._max_comp = max_comp
+        w = self._window
+        if len(self._lats) > 4 * w:
+            del self._lats[: len(self._lats) - w]
+        if len(self._arr) > 4 * w:
+            del self._arr[: len(self._arr) - w]

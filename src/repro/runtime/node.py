@@ -99,7 +99,13 @@ class AcceleratorInstance:
         self.device_type: DeviceType = spec.device_type
         self.dvfs = DVFSPolicy(spec)
         self.horizon_ms = 0.0
-        self.records: List[ExecutionRecord] = []
+        self._records: List[ExecutionRecord] = []
+        #: Columnar execution rows appended by the event-heap engine
+        #: (``[kernel, point, start, end, power, batch]`` per realized
+        #: execution), materialized into :class:`ExecutionRecord`s only
+        #: when :attr:`records` is read — the engine's hot path never
+        #: constructs dataclasses.
+        self._pending_rows: Optional[List[list]] = None
         self._latency_fn = latency_fn
         self._open_batches: Dict[Tuple[str, int], _OpenBatch] = {}
         #: (kernel_name, point_index) currently configured on an FPGA.
@@ -113,6 +119,61 @@ class AcceleratorInstance:
         self.failed_at_ms: Optional[float] = None
         #: True once the failover planner has quarantined this device.
         self.failure_detected = False
+
+    # -- execution records ----------------------------------------------------
+
+    @property
+    def records(self) -> List[ExecutionRecord]:
+        """Realized executions, materializing any engine rows first.
+
+        The returned list is the live backing store (callers append to
+        it on the legacy dispatch path).  Materialization keeps row
+        order, so record-major consumers (the power timeline) see the
+        same dispatch-ordered sequence either way.  Reading this while
+        the event engine still holds an open GPU batch on a pending row
+        would detach that batch's future join mutations — the engine
+        only exposes rows between requests, and every consumer of
+        ``records`` reads post-run.
+        """
+        rows = self._pending_rows
+        if rows:
+            did = self.device_id
+            self._records.extend(
+                ExecutionRecord(did, r[0], r[1], r[2], r[3], r[4], r[5])
+                for r in rows
+            )
+            rows.clear()
+        return self._records
+
+    @records.setter
+    def records(self, value: List[ExecutionRecord]) -> None:
+        self._records = value
+        if self._pending_rows:
+            self._pending_rows.clear()
+
+    def record_columns(self) -> Tuple[List[float], List[float], List[float]]:
+        """Parallel ``(start, end, power)`` lists of every realized
+        execution — the power-timeline reader, which never needs the
+        dataclass view."""
+        rows = self._pending_rows
+        if rows and not self._records:
+            return (
+                [r[2] for r in rows],
+                [r[3] for r in rows],
+                [r[4] for r in rows],
+            )
+        recs = self.records
+        return (
+            [r.start_ms for r in recs],
+            [r.end_ms for r in recs],
+            [r.power_w for r in recs],
+        )
+
+    def adopt_row_store(self) -> List[list]:
+        """The engine's append target for this device's executions."""
+        if self._pending_rows is None:
+            self._pending_rows = []
+        return self._pending_rows
 
     # -- health ---------------------------------------------------------------
 

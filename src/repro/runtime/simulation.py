@@ -25,6 +25,8 @@ from ..faults.injector import FaultInjector, ResilienceReport
 from ..faults.policy import RetryPolicy
 from ..optim.design_point import KernelDesignSpace
 from .cluster import SchedulingPolicy, SystemConfig
+from .engine import EventHeapEngine
+from .loadgen import ArrivalSpec
 from .metrics import availability, tail_latency_p99, violation_ratio
 from .node import LeafNode, RequestRecord
 
@@ -114,7 +116,7 @@ def run_simulation(
     system: SystemConfig,
     app: Application,
     design_spaces: Mapping[Tuple[str, str], KernelDesignSpace],
-    arrivals_ms: Sequence[float],
+    arrivals_ms: Union[Sequence[float], ArrivalSpec],
     bin_ms: float = 1000.0,
     warmup_frac: float = 0.1,
     seed: int = 0,
@@ -125,6 +127,7 @@ def run_simulation(
     tracer=None,
     metrics=None,
     plan_cache=None,
+    engine: str = "event",
 ) -> SimulationResult:
     """Replay ``arrivals_ms`` (sorted timestamps) on a fresh leaf node.
 
@@ -148,7 +151,23 @@ def run_simulation(
     memoizes the node's schedule plans and enables the compiled
     dispatch fast path; seeded runs are bit-identical with the cache on
     or off (golden-tested), the cache only removes recomputation.
+
+    ``arrivals_ms`` may also be an :class:`ArrivalSpec` — the
+    declarative stream description shared with the cluster driver —
+    realized here through its own seed.
+
+    ``engine`` selects the simulation core: ``"event"`` (default)
+    drives the run through the global event-heap engine
+    (:class:`repro.runtime.engine.EventHeapEngine`, ≥10x request
+    throughput at high load); ``"legacy"`` keeps the original
+    per-request submit loop.  Seeded runs are float-identical across
+    the two (golden-tested) — chaos and traced runs delegate each
+    arrival to the node, so the equivalence is structural there.
     """
+    if engine not in ("event", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if isinstance(arrivals_ms, ArrivalSpec):
+        arrivals_ms = arrivals_ms.generate()
     if not arrivals_ms:
         raise ValueError("empty arrival stream")
     if tracer is None and isinstance(faults, FaultInjector):
@@ -176,11 +195,13 @@ def run_simulation(
         raise ValueError("retry_policy given without a fault schedule")
 
     ordered = sorted(arrivals_ms)
-    if priorities is None:
+    if priorities is not None and len(priorities) != len(ordered):
+        raise ValueError("priorities must match the arrival stream length")
+    if engine == "event":
+        requests = EventHeapEngine(node).run(ordered, priorities=priorities)
+    elif priorities is None:
         requests = [node.submit(t) for t in ordered]
     else:
-        if len(priorities) != len(ordered):
-            raise ValueError("priorities must match the arrival stream length")
         requests = [
             node.submit(t, priority=p) for t, p in zip(ordered, priorities)
         ]
@@ -237,10 +258,13 @@ def _power_timeline(
     for dev in node.devices:
         active_energy = np.zeros(n_bins)  # W * ms per bin
         busy = np.zeros(n_bins)
-        if dev.records:
-            starts = np.array([r.start_ms for r in dev.records])
-            rec_ends = np.array([r.end_ms for r in dev.records])
-            powers = np.array([r.power_w for r in dev.records])
+        # Columnar read: engine runs never materialize dataclass
+        # records for power accounting (same floats, same order).
+        col_starts, col_ends, col_powers = dev.record_columns()
+        if col_starts:
+            starts = np.array(col_starts)
+            rec_ends = np.array(col_ends)
+            powers = np.array(col_powers)
             first = (starts // bin_ms).astype(np.int64)
             last = np.minimum(
                 (rec_ends // bin_ms).astype(np.int64), n_bins - 1

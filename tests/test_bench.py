@@ -41,6 +41,13 @@ RT_LOAD_KEYS = {
     "pair_speedups", "speedup", "p99_ms", "identical", "plan_cache",
 }
 PLAN_CACHE_KEYS = {"hits", "misses", "evictions", "hit_rate"}
+RT_SIM_KEYS = {"trial_s", "median_s", "cold_s", "speedup", "loads"}
+RT_SIM_LOAD_KEYS = {
+    "rps", "duration_ms", "requests", "legacy_trial_s", "legacy_median_s",
+    "legacy_req_per_s", "event_cold_s", "event_warm_trial_s",
+    "event_warm_median_s", "event_req_per_s", "pair_speedups", "speedup",
+    "p99_ms", "identical",
+}
 CLUSTER_KEYS = {
     "trial_s", "median_s", "cold_s", "requests", "peak_rps", "served_rps",
     "p99_ms", "qos_ok_frac", "mean_fleet", "launches", "terminations",
@@ -62,7 +69,9 @@ class TestSchema:
 
     def test_app_sections(self, mf_doc):
         row = mf_doc["apps"]["MF"]
-        assert set(row) == {"dse", "scheduler", "simulation", "sched", "cluster"}
+        assert set(row) == {
+            "dse", "scheduler", "simulation", "sched", "sim", "cluster",
+        }
         assert set(row["dse"]) == DSE_KEYS
         assert set(row["dse"]["cache"]) == CACHE_KEYS
         assert set(row["scheduler"]) == SCHED_KEYS
@@ -71,6 +80,9 @@ class TestSchema:
         for load in row["sched"]["loads"].values():
             assert set(load) == RT_LOAD_KEYS
             assert set(load["plan_cache"]) == PLAN_CACHE_KEYS
+        assert set(row["sim"]) == RT_SIM_KEYS
+        for load in row["sim"]["loads"].values():
+            assert set(load) == RT_SIM_LOAD_KEYS
         assert set(row["cluster"]) == CLUSTER_KEYS
 
     def test_trial_counts_and_medians(self, mf_doc):
@@ -189,6 +201,12 @@ class TestCheckedInBaseline:
         for app, row in doc["apps"].items():
             assert {"median_s", "cold_s"} <= set(row["sched"]), app
 
+    def test_baseline_gates_sim_sections(self):
+        """The event-engine sections must carry the gated metrics."""
+        doc = load_bench_json(BASELINE_PATH)
+        for app, row in doc["apps"].items():
+            assert {"median_s", "cold_s", "speedup"} <= set(row["sim"]), app
+
     def test_baseline_gates_cluster_sections(self):
         """The fleet-replay sections must carry the gated metrics."""
         doc = load_bench_json(BASELINE_PATH)
@@ -241,6 +259,48 @@ class TestSchedSuite:
         assert cli_main(args + ["--min-sched-speedup", "1e9"]) == 1
         assert cli_main(args + ["--min-sched-speedup", "0.0"]) == 0
         assert load_bench_json(out)["suite"] == "sched"
+
+
+class TestSimSuite:
+    def test_sim_suite_runs_only_sim(self):
+        doc = run_bench(app_names=["MF"], trials=1, label="e", suite="sim")
+        assert doc["suite"] == "sim"
+        row = doc["apps"]["MF"]
+        assert set(row) == {"sim"}
+        assert set(row["sim"]) == RT_SIM_KEYS
+
+    def test_engines_float_identical_with_speedup_pairs(self, mf_doc):
+        s = mf_doc["apps"]["MF"]["sim"]
+        for load in s["loads"].values():
+            assert load["identical"] is True
+            assert len(load["pair_speedups"]) == 2
+            assert load["legacy_req_per_s"] > 0
+            assert load["event_req_per_s"] > 0
+        # trials=2 -> one cold event fill plus two warm event trials.
+        assert len(s["trial_s"]) == 3
+        assert s["speedup"] > 0
+
+    def test_render_includes_sim_line(self, mf_doc):
+        assert "event warm" in render_bench(mf_doc)
+
+    def test_gate_covers_sim_section(self, mf_doc):
+        slow = copy.deepcopy(mf_doc)
+        sec = slow["apps"]["MF"]["sim"]
+        sec["median_s"] *= 5.0
+        sec["cold_s"] *= 5.0
+        comparison = compare_to_baseline(slow, mf_doc, max_ratio=2.0)
+        assert not comparison.ok
+        assert any("MF/sim" in r for r in comparison.regressions)
+
+    def test_cli_min_sim_speedup_gate(self, tmp_path):
+        out = tmp_path / "BENCH_e.json"
+        args = [
+            "bench", "--app", "mf", "--suite", "sim", "--trials", "1",
+            "--label", "e", "--out", str(out),
+        ]
+        assert cli_main(args + ["--min-sim-speedup", "1e9"]) == 1
+        assert cli_main(args + ["--min-sim-speedup", "0.0"]) == 0
+        assert load_bench_json(out)["suite"] == "sim"
 
 
 class TestClusterSuite:
