@@ -25,8 +25,9 @@ __all__ = ["BaselineComparison", "compare_to_baseline", "load_bench_json"]
 #: path (``cold_s`` = plan-cache fill, ``median_s`` = warm steady state);
 #: ``sim`` tracks the event-heap engine (``cold_s`` = plan/code-cache
 #: fill, ``median_s`` = warm event-engine steady state); ``cluster``
-#: tracks the fleet replay (dispatcher + autoscaler loop).
-GATED_SECTIONS = ("dse", "sched", "sim", "cluster")
+#: tracks the fleet replay (dispatcher + autoscaler loop); ``obs``
+#: tracks the traced event engine (native in-loop span emission).
+GATED_SECTIONS = ("dse", "sched", "sim", "cluster", "obs")
 
 #: Metrics gated within each section (when present in both documents).
 #: ``cold_s`` catches model-evaluation slowdowns the warm cache would

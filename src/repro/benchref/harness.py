@@ -384,6 +384,129 @@ def _bench_sim(app, system, spaces, trials: int, seed: int) -> Dict:
     }
 
 
+#: (requests/sec, stream duration ms) per obs-bench load level — the
+#: sim-bench levels, so retained-speedup composes with the engine story.
+_OBS_LOADS = {"low": (60.0, 6_000.0), "high": (400.0, 10_000.0)}
+
+#: Head-sampling policy exercised per load level to document the
+#: artifact-bounding ratio (tail criteria keep QoS violators).
+_OBS_SAMPLE_RATE = 0.1
+
+
+def _bench_obs(app, system, spaces, trials: int, seed: int) -> Dict:
+    """Traced-engine overhead and retained speedup vs. the legacy loop.
+
+    The sim bench times the *untraced* engines; this section answers
+    the observability question PR 7 left open — what does turning the
+    tracer on cost?  Per load level it replays the same seeded stream
+    three ways: traced legacy (the golden anchor), traced event engine
+    (native buffered emission), and untraced event engine.  Each trial
+    times the three back-to-back; the gated ``speedup`` is the median
+    per-pair traced-legacy / traced-event ratio (the *retained* engine
+    speedup with tracing on, CI-gated via ``--min-obs-retention``), and
+    ``overhead`` is traced-event / untraced-event.  Event-stream
+    construction stays inside the timed window (buffered raw records);
+    :class:`~repro.obs.tracer.TraceEvent` materialization is lazy and
+    happens at export for either engine, so it is excluded
+    symmetrically.  One traced pair per level is byte-compared
+    (``identical``) — the same golden contract ``tests/test_engine.py``
+    enforces — and the level's stream is head+tail sampled at
+    ``_OBS_SAMPLE_RATE`` to document the bounded-artifact ratio.
+    """
+    from ..obs.sampling import SamplingPolicy, sample_events
+    from ..obs.tracer import SpanTracer
+    from ..scheduler import SchedulePlanCache
+
+    loads: Dict = {}
+    for load_key, (rps, duration_ms) in _OBS_LOADS.items():
+        arrivals = runtime.poisson_arrivals(
+            rps, duration_ms, rng=np.random.default_rng(seed)
+        )
+        tracers: Dict[str, SpanTracer] = {}
+
+        def run(engine, plan_cache=None, traced=True, mode=None):
+            tracer = SpanTracer() if traced else None
+            runtime.run_simulation(
+                system, app, spaces, arrivals, seed=seed,
+                plan_cache=plan_cache, engine=engine, tracer=tracer,
+            )
+            if mode is not None and mode not in tracers:
+                tracers[mode] = tracer
+            return tracer
+
+        clear_model_cache()
+        cache = SchedulePlanCache()
+        event_cold_s = _timed_trials(
+            lambda: run("event", plan_cache=cache, mode="event"), 1
+        )[0]
+        legacy_s: List[float] = []
+        event_s: List[float] = []
+        untraced_s: List[float] = []
+        for _ in range(trials):
+            legacy_s += _timed_trials(
+                lambda: run("legacy", mode="legacy"), 1
+            )
+            event_s += _timed_trials(
+                lambda: run("event", plan_cache=cache), 1
+            )
+            untraced_s += _timed_trials(
+                lambda: run("event", plan_cache=cache, traced=False), 1
+            )
+
+        legacy_median = statistics.median(legacy_s)
+        event_median = statistics.median(event_s)
+        untraced_median = statistics.median(untraced_s)
+        pair_speedups = [lg / ev for lg, ev in zip(legacy_s, event_s)]
+        identical = [
+            e.to_dict() for e in tracers["legacy"].events
+        ] == [e.to_dict() for e in tracers["event"].events]
+        events = tracers["event"].events
+        sampled = sample_events(
+            events,
+            SamplingPolicy(
+                head_rate=_OBS_SAMPLE_RATE, seed=seed, tail_qos_ms=app.qos_ms
+            ),
+        )
+        n = len(arrivals)
+        loads[load_key] = {
+            "rps": rps,
+            "duration_ms": duration_ms,
+            "requests": n,
+            "events": len(events),
+            "legacy_trial_s": legacy_s,
+            "legacy_median_s": legacy_median,
+            "event_cold_s": event_cold_s,
+            "event_trial_s": event_s,
+            "event_median_s": event_median,
+            "untraced_trial_s": untraced_s,
+            "untraced_median_s": untraced_median,
+            "pair_speedups": pair_speedups,
+            "speedup": statistics.median(pair_speedups),
+            "overhead": round(event_median / untraced_median, 4),
+            "identical": identical,
+            "sampling": {
+                "head_rate": _OBS_SAMPLE_RATE,
+                "kept_events": len(sampled.events),
+                "total_events": len(events),
+                "kept_requests": len(sampled.kept_requests),
+                "dropped_spans": sampled.dropped_spans,
+            },
+        }
+
+    high = loads["high"]
+    return {
+        # Generic-gate keys (median_s / cold_s) describe the traced
+        # event engine at high load — the steady state the CI baseline
+        # tracks.
+        "trial_s": [high["event_cold_s"]] + high["event_trial_s"],
+        "median_s": high["event_median_s"],
+        "cold_s": high["event_cold_s"],
+        "speedup": high["speedup"],
+        "overhead": high["overhead"],
+        "loads": loads,
+    }
+
+
 #: Mini diurnal utilization profile for the cluster bench: one
 #: compressed rise-peak-fall swing that forces the autoscaler through a
 #: full scale-up *and* scale-down episode per trial.
@@ -453,7 +576,7 @@ def _bench_cluster(app, system, spaces, trials: int, seed: int) -> Dict:
 
 
 #: Section sets per bench suite.
-_SUITES = ("full", "sched", "sim", "cluster")
+_SUITES = ("full", "sched", "sim", "cluster", "obs")
 
 
 def run_bench(
@@ -474,8 +597,9 @@ def run_bench(
     simulation + sched + sim + cluster (everything), ``"sched"`` runs
     only the runtime sched benchmark (plan-cache on/off throughput),
     ``"sim"`` runs only the engine benchmark (event-heap vs. legacy
-    loop throughput), and ``"cluster"`` runs only the fleet replay
-    benchmark.
+    loop throughput), ``"cluster"`` runs only the fleet replay
+    benchmark, and ``"obs"`` runs only the tracing-overhead benchmark
+    (retained traced-engine speedup vs. the legacy loop).
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -516,6 +640,8 @@ def run_bench(
             row["sim"] = _bench_sim(app, system, spaces, trials, seed)
         if suite in ("full", "cluster"):
             row["cluster"] = _bench_cluster(app, system, spaces, trials, seed)
+        if suite in ("full", "obs"):
+            row["obs"] = _bench_obs(app, system, spaces, trials, seed)
         doc["apps"][name] = row
     return doc
 
@@ -581,5 +707,17 @@ def render_bench(doc: Dict) -> str:
                 f"qos-ok {c['qos_ok_frac']*100:.0f}%, "
                 f"lag up {f'{up:.0f} ms' if up is not None else 'n/a'} / "
                 f"down {f'{down:.0f} ms' if down is not None else 'n/a'})"
+            )
+        if "obs" in row:
+            o = row["obs"]
+            high = o["loads"]["high"]
+            samp = high["sampling"]
+            lines.append(
+                f"  {name:4s} obs     {high['legacy_median_s']*1000:8.1f} ms traced legacy / "
+                f"{o['median_s']*1000:8.1f} ms traced event "
+                f"({o['speedup']:.2f}x retained, {o['overhead']:.2f}x overhead, "
+                f"{high['events']:,} events, "
+                f"sampled {samp['kept_events']:,}, "
+                f"identical={high['identical']})"
             )
     return "\n".join(lines)

@@ -45,23 +45,27 @@ Commands
     ``--system`` to rotate launches through heterogeneous node
     templates.  The autoscaler config is linted (RT007) before the run.
 
-``bench [--app NAME] [--suite full|sched|sim|cluster] [--trials 3]
+``bench [--app NAME] [--suite full|sched|sim|cluster|obs] [--trials 3]
         [--n-jobs 1] [--label L] [--check BASELINE] [--max-ratio 2.0]
-        [--min-sched-speedup X] [--min-sim-speedup X]``
+        [--min-sched-speedup X] [--min-sim-speedup X]
+        [--min-obs-retention X]``
     Deterministic performance benchmark: time per-app DSE (cold and
     cache-warm), the two-step scheduler, a fixed seeded simulation, the
     runtime ``sched`` suite (steady-state throughput with the
     schedule-plan cache on vs off, bit-identical results), the ``sim``
     suite (event-heap engine vs. the legacy per-request loop,
     float-identical results) and the ``cluster`` fleet replay (mini
-    diurnal profile: throughput, p99, scale lag) over repeated trials;
-    write ``BENCH_<label>.json``.  ``--suite sched``/``--suite sim``/
-    ``--suite cluster`` run only that suite.  ``--check`` gates the run
-    against a baseline document (CI's ``perf-smoke`` job) and exits
-    nonzero on a >``--max-ratio`` normalized regression;
-    ``--min-sched-speedup`` / ``--min-sim-speedup`` additionally fail
-    when the warm plan-cached (resp. event-engine) speedup drops
-    below X.
+    diurnal profile: throughput, p99, scale lag) and the ``obs``
+    tracing-overhead suite (traced event engine vs. traced legacy
+    loop, byte-identical streams) over repeated trials; write
+    ``BENCH_<label>.json``.  ``--suite sched``/``--suite sim``/
+    ``--suite cluster``/``--suite obs`` run only that suite.
+    ``--check`` gates the run against a baseline document (CI's
+    ``perf-smoke`` job) and exits nonzero on a >``--max-ratio``
+    normalized regression; ``--min-sched-speedup`` /
+    ``--min-sim-speedup`` / ``--min-obs-retention`` additionally fail
+    when the warm plan-cached (resp. event-engine, traced-engine)
+    speedup drops below X.
 
 ``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
         [--summary] [--crash DEV@MS] [--recover DEV@MS]``
@@ -357,8 +361,15 @@ def _cmd_obs(args) -> int:
 
     from .obs import (
         MetricsRegistry,
+        SamplingPolicy,
         SpanTracer,
+        TimeSeriesStore,
+        default_slos,
+        evaluate_slos,
+        feed_simulation_result,
         placement_digest,
+        render_slo_json,
+        sample_events,
         write_events_jsonl,
         write_metrics_json,
         write_metrics_prom,
@@ -416,6 +427,29 @@ def _cmd_obs(args) -> int:
         metrics=registry,
     )
 
+    store = slos = alerts = None
+    if args.report:
+        store = TimeSeriesStore(window_ms=args.window_ms)
+        feed_simulation_result(store, result, qos_ms=app.qos_ms)
+        slos = default_slos(app.qos_ms, store.window_ms)
+        # Fired alerts land in the trace (slo.alert events) and the
+        # registry before the artifacts serialize below.
+        alerts = evaluate_slos(store, slos, tracer=tracer, registry=registry)
+
+    policy = None
+    if args.sample_rate < 1.0 or args.sample_top_k:
+        policy = SamplingPolicy(
+            head_rate=args.sample_rate,
+            seed=args.sample_seed,
+            tail_qos_ms=app.qos_ms,
+            tail_top_k=args.sample_top_k,
+        )
+    sampled = (
+        sample_events(tracer.events, policy, registry=registry)
+        if policy is not None
+        else None
+    )
+
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = [
@@ -424,15 +458,67 @@ def _cmd_obs(args) -> int:
         write_metrics_json(registry, out_dir / "metrics.json"),
         write_metrics_prom(registry, out_dir / "metrics.prom"),
     ]
+    if sampled is not None:
+        paths.append(
+            write_perfetto_json(
+                sampled.events, out_dir / "trace.sampled.perfetto.json"
+            )
+        )
+    if store is not None:
+        report_path = out_dir / "report.json"
+        report_path.write_text(render_slo_json(store, slos, alerts))
+        paths.append(report_path)
     print(
         f"{name} on {args.system}/Setting-{args.setting} @ {args.rps:g} rps: "
         f"{len(tracer)} events, {len(registry)} metric series"
     )
+    if sampled is not None:
+        print(
+            f"  sampled {len(sampled.events)} of {len(tracer)} events "
+            f"({len(sampled.kept_requests)} request(s) kept, "
+            f"{sampled.dropped_spans} span(s) dropped)"
+        )
     for path in paths:
         print(f"  wrote {path}")
+    if store is not None:
+        print(_render_obs_report(store, slos, alerts))
     if args.summary:
         print(placement_digest(result, result.node))
     return 0
+
+
+def _render_obs_report(store, slos, alerts) -> str:
+    """The ``repro obs --report`` table: per-window rollups + alerts."""
+    lines = [
+        f"windowed rollups ({store.window_ms:g} ms windows)",
+        "  window        n    p50 ms    p95 ms    p99 ms   qos-ok     W",
+    ]
+    latency = {w.start_ms: w for w in store.rollup("latency_ms")}
+    qos = {w.start_ms: w for w in store.rollup("qos_attained")}
+    power = {w.start_ms: w for w in store.rollup("power_w")}
+    for start in sorted(latency):
+        lw, qw, pw = latency[start], qos.get(start), power.get(start)
+        qos_txt = f"{qw.mean * 100:6.1f}%" if qw else "    n/a"
+        pow_txt = f"{pw.mean:6.0f}" if pw else "   n/a"
+        lines.append(
+            f"  {start / 1000.0:6.1f}s {lw.count:6d} "
+            f"{lw.p50:9.1f} {lw.p95:9.1f} {lw.p99:9.1f} "
+            f"{qos_txt} {pow_txt}"
+        )
+    for slo in slos:
+        fired = [a for a in alerts if a.slo == slo.name]
+        status = f"{len(fired)} alert(s)" if fired else "ok"
+        lines.append(
+            f"SLO {slo.name} (target {slo.objective * 100:g}% on "
+            f"{slo.series}): {status}"
+        )
+        for a in fired:
+            lines.append(
+                f"  ALERT {a.t_ms / 1000.0:.1f}s..{a.end_ms / 1000.0:.1f}s "
+                f"burn fast {a.burn_fast:.1f}x / slow {a.burn_slow:.1f}x "
+                f"(budget {slo.budget * 100:g}%)"
+            )
+    return "\n".join(lines)
 
 
 def _cmd_cluster(args) -> int:
@@ -473,9 +559,29 @@ def _cmd_cluster(args) -> int:
     trace = synthesize_google_trace(
         hours=args.hours, interval_s=args.interval_s, seed=args.trace_seed
     )
+    tracer = sampler = None
+    if args.trace:
+        from .obs import SamplingPolicy, SpanTracer
+
+        tracer = SpanTracer()
+        if args.sample_rate < 1.0:
+            sampler = SamplingPolicy(
+                head_rate=args.sample_rate,
+                seed=args.sample_seed,
+                tail_qos_ms=app.qos_ms,
+            )
     sim = ClusterSimulation(
-        templates, app, spaces, config=config, seed=args.seed
+        templates, app, spaces, config=config, seed=args.seed,
+        tracer=tracer, trace_nodes=args.trace_nodes, sampler=sampler,
     )
+    # OBS002 admission gate (same pattern as OBS001 in `repro faults`):
+    # a fleet-scale traced replay without a sampling policy warns
+    # before the replay is paid for.
+    obs_gate = run_lint(sim, LintContext())
+    for diag in obs_gate:
+        print(f"  {diag.render()}", file=sys.stderr)
+    if not obs_gate.ok:
+        return 1
     peak_rps = args.peak_rps
     if peak_rps is None:
         capacity = sum(sim._template_capacity(t) for t in templates) / len(
@@ -483,6 +589,36 @@ def _cmd_cluster(args) -> int:
         )
         peak_rps = capacity * args.peak_factor
     result = sim.replay(trace, peak_rps=peak_rps, compress=args.compress)
+
+    if tracer is not None:
+        import pathlib
+
+        from .obs import sample_events, write_events_jsonl, write_perfetto_json
+
+        out_dir = pathlib.Path(args.trace_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace_paths = [
+            write_events_jsonl(tracer.events, out_dir / "events.jsonl")
+        ]
+        if sampler is not None:
+            sampled = sample_events(tracer.events, sampler)
+            trace_paths.append(
+                write_perfetto_json(
+                    sampled.events, out_dir / "trace.sampled.perfetto.json"
+                )
+            )
+            print(
+                f"  sampled {len(sampled.events)} of {len(tracer)} events",
+                file=sys.stderr,
+            )
+        else:
+            trace_paths.append(
+                write_perfetto_json(
+                    tracer.events, out_dir / "trace.perfetto.json"
+                )
+            )
+        for path in trace_paths:
+            print(f"  wrote {path}", file=sys.stderr)
 
     served = sum(1 for r in result.requests if r.served)
     sizes = [e.fleet_size for e in result.timeline]
@@ -614,6 +750,7 @@ def _cmd_bench(args) -> int:
     for section, gate in (
         ("sched", args.min_sched_speedup),
         ("sim", args.min_sim_speedup),
+        ("obs", args.min_obs_retention),
     ):
         if gate is None:
             continue
@@ -803,6 +940,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeline", action="store_true", help="print every scaling event"
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the fleet event stream (cluster.* + autoscaler) and "
+        "export JSONL/Perfetto artifacts",
+    )
+    p.add_argument(
+        "--trace-nodes",
+        action="store_true",
+        help="with --trace: propagate the tracer into every leaf node "
+        "(full per-request span trees; pair with --sample-rate)",
+    )
+    p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="with --trace: head-sampling keep probability for the "
+        "Perfetto artifact (QoS violators always kept)",
+    )
+    p.add_argument(
+        "--sample-seed", type=int, default=0, help="sampling-key seed"
+    )
+    p.add_argument(
+        "--trace-out",
+        default="cluster_obs",
+        help="artifact directory for --trace (created if missing)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_cluster)
 
@@ -835,11 +999,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="full",
-        choices=("full", "sched", "sim", "cluster"),
-        help="'full' = DSE+scheduler+simulation+sched+sim+cluster, "
+        choices=("full", "sched", "sim", "cluster", "obs"),
+        help="'full' = DSE+scheduler+simulation+sched+sim+cluster+obs, "
         "'sched' = runtime plan-cache benchmark only, "
         "'sim' = event-heap engine vs legacy loop benchmark only, "
-        "'cluster' = fleet replay benchmark only",
+        "'cluster' = fleet replay benchmark only, "
+        "'obs' = tracing-overhead benchmark only",
     )
     p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
     p.add_argument(
@@ -871,6 +1036,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when any app's event-engine speedup over the legacy "
         "loop is below X",
     )
+    p.add_argument(
+        "--min-obs-retention",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any app's traced event-engine speedup over the "
+        "traced legacy loop is below X",
+    )
     p.add_argument("--json", action="store_true", help="print the full document")
     p.set_defaults(fn=_cmd_bench)
 
@@ -896,6 +1069,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="print the placement/occupancy digest",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="windowed rollup table + SLO burn-rate alerts "
+        "(also writes report.json)",
+    )
+    p.add_argument(
+        "--window-ms",
+        type=float,
+        default=1_000.0,
+        help="rollup window for --report (simulated ms)",
+    )
+    p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="head-sampling keep probability; < 1.0 adds a bounded "
+        "trace.sampled.perfetto.json (QoS violators always kept)",
+    )
+    p.add_argument(
+        "--sample-seed", type=int, default=0, help="sampling-key seed"
+    )
+    p.add_argument(
+        "--sample-top-k",
+        type=int,
+        default=0,
+        help="always keep the k highest-latency request spans",
     )
     p.add_argument(
         "--crash",

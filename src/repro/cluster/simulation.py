@@ -295,6 +295,8 @@ class ClusterSimulation:
         health_penalty_ms: float = 50.0,
         replan_interval_ms: float = 250.0,
         engine: str = "event",
+        trace_nodes: bool = False,
+        sampler=None,
     ) -> None:
         if isinstance(templates, SystemConfig):
             templates = [templates]
@@ -320,6 +322,15 @@ class ClusterSimulation:
         self.seed = seed
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        #: Propagate the fleet tracer into every launched leaf, so a
+        #: traced replay records the full per-node span trees alongside
+        #: the cluster.* decisions (off by default: node spans dominate
+        #: trace volume at fleet scale — pair with ``sampler``).
+        self.trace_nodes = trace_nodes
+        #: Declarative :class:`repro.obs.sampling.SamplingPolicy`
+        #: applied post-run by exporters; recorded here so fleet-scale
+        #: tracing without a bound policy is lintable (OBS002).
+        self.sampler = sampler
         self.autoscaler = Autoscaler(self.config)
         self.dispatcher = ClusterDispatcher(
             self._child_rng(0, 0),
@@ -387,6 +398,7 @@ class ClusterSimulation:
             seed=np.random.SeedSequence(
                 entropy=self.seed, spawn_key=(2, index)
             ),
+            tracer=self.tracer if self.trace_nodes else None,
         )
         node = ClusterNode(
             node_id,

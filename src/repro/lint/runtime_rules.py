@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Set
 import networkx as nx
 
 from ..cluster.scaling import AutoscalerConfig
+from ..cluster.simulation import ClusterSimulation
 from ..faults.events import FaultSchedule
 from ..faults.injector import FaultInjector
 from ..faults.policy import RetryPolicy
@@ -457,3 +458,47 @@ def check_injector_observable(
                 "run_simulation (repro obs --crash ... does this)"
             ),
         )
+
+
+#: Fleet size at which an unsampled traced replay stops being a
+#: debugging convenience and starts being an artifact-size hazard.
+OBS002_FLEET_NODES = 3
+
+
+@register_rule(
+    "OBS002",
+    Severity.WARNING,
+    (ClusterSimulation,),
+    "fleet-scale traced replay without a sampling policy",
+)
+def check_cluster_sampled(
+    sim: ClusterSimulation, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """A traced fleet replay emits a full span tree per request; above a
+    few nodes the unsampled stream runs to millions of events and the
+    Perfetto artifact stops loading.  Bind a
+    :class:`~repro.obs.sampling.SamplingPolicy` (head rate plus the
+    tail criteria) so exports stay bounded while QoS violators and
+    faulted requests keep complete spans."""
+    if not sim.tracer.enabled or sim.sampler is not None:
+        return
+    if sim.config.max_nodes < OBS002_FLEET_NODES:
+        return
+    detail = (
+        "with trace_nodes=True every per-request span lands in the stream"
+        if sim.trace_nodes
+        else "cluster.route alone adds one event per request"
+    )
+    yield Diagnostic(
+        rule="OBS002",
+        severity=Severity.WARNING,
+        location=ctx.prefix("cluster_simulation"),
+        message=(
+            f"traced fleet replay scales to {sim.config.max_nodes} nodes "
+            f"with no sampling policy; {detail}"
+        ),
+        hint=(
+            "pass sampler=SamplingPolicy(head_rate=..., tail_qos_ms=...) "
+            "to ClusterSimulation (repro cluster --trace does this)"
+        ),
+    )

@@ -19,6 +19,16 @@ first-class tracing/metrics layer:
   device timeline tracks) and a JSONL structured-event stream.
 * :mod:`repro.obs.summary` — simulation-to-registry wiring and the
   placement/occupancy digest behind ``repro obs --summary``.
+* :mod:`repro.obs.sampling` — deterministic head/tail trace sampling
+  so fleet replays export bounded artifacts (the per-request Bernoulli
+  never touches simulation RNG; QoS violators, faulted requests and
+  the top-k latency spans are always retained).
+* :mod:`repro.obs.timeseries` — fixed-window rollups (latency
+  percentiles, QoS attainment, power, queue depth, plan-cache hit
+  rate) fed from simulation/cluster outcomes.
+* :mod:`repro.obs.slo` — declarative :class:`~repro.obs.slo.SLO`
+  objects with multi-window burn-rate alerting over the rollups,
+  surfaced by ``repro obs --report``.
 
 Quickstart::
 
@@ -56,10 +66,31 @@ from .metrics import (
     MetricsRegistry,
     log_buckets,
 )
+from .sampling import (
+    SampledTrace,
+    SamplingPolicy,
+    head_keep,
+    sample_events,
+)
+from .slo import (
+    SLO,
+    AlertEvent,
+    default_slos,
+    evaluate_slos,
+    render_slo_json,
+    slo_report,
+)
 from .summary import (
     emit_execution_spans,
     placement_digest,
     record_simulation_metrics,
+)
+from .timeseries import (
+    SERIES,
+    TimeSeriesStore,
+    WindowStats,
+    feed_cluster_result,
+    feed_simulation_result,
 )
 from .tracer import (
     EVENT_SCHEMA,
@@ -89,4 +120,19 @@ __all__ = [
     "emit_execution_spans",
     "record_simulation_metrics",
     "placement_digest",
+    "SamplingPolicy",
+    "SampledTrace",
+    "head_keep",
+    "sample_events",
+    "SERIES",
+    "WindowStats",
+    "TimeSeriesStore",
+    "feed_simulation_result",
+    "feed_cluster_result",
+    "SLO",
+    "AlertEvent",
+    "default_slos",
+    "evaluate_slos",
+    "slo_report",
+    "render_slo_json",
 ]

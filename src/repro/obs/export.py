@@ -40,6 +40,7 @@ _CONTROL_TRACKS = {
     "fault": (4, "faults"),
     "monitor": (5, "monitor"),
     "cluster": (6, "cluster"),
+    "slo": (7, "slo"),
 }
 _FIRST_DEVICE_TID = 10
 _PID = 1

@@ -260,7 +260,9 @@ class MetricsRegistry:
             if name not in seen_names:
                 seen_names.add(name)
                 lines.append(f"# TYPE {name} {types[name]}")
-            label_str = ",".join(f'{k}="{v}"' for k, v in labels)
+            label_str = ",".join(
+                f'{k}="{_escape_label_value(v)}"' for k, v in labels
+            )
             if isinstance(metric, Histogram):
                 running = 0
                 for bound, c in zip(metric.bounds, metric.counts[:-1]):
@@ -298,3 +300,14 @@ def _fmt(value: float) -> str:
 
 def _fmt_label_value(bound: float) -> str:
     return _fmt(bound)
+
+
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label escaping: backslash, quote, newline.
+
+    Order matters — backslashes first, or the escapes just added would
+    themselves be re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )

@@ -1,0 +1,286 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` names a target good-event fraction over one time
+series (``qos_attained`` per completion, or a thresholded series such
+as ``latency_ms <= threshold``).  Evaluation follows the SRE-workbook
+multi-window multi-burn-rate recipe: the *burn rate* over a trailing
+window is the observed error fraction divided by the error budget
+(``1 - objective``); an alert fires only when both a short window
+(fast — catches the spike, sets the firing edge) and a long window
+(slow — confirms it is not a blip) exceed their thresholds at the same
+evaluation boundary.  Consecutive firing boundaries coalesce into one
+:class:`AlertEvent` carrying the span and peak burn rates.
+
+Everything runs on the simulation clock over a recorded
+:class:`~repro.obs.timeseries.TimeSeriesStore`, so alert streams are a
+pure function of the seeded run — byte-identical across repeats, the
+contract all obs artifacts keep.  Fired alerts can be emitted into the
+trace (`slo.alert` in :data:`~repro.obs.tracer.EVENT_SCHEMA`, its own
+Perfetto control track) and counted in a
+:class:`~repro.obs.metrics.MetricsRegistry`
+(``slo_alerts_total`` / ``slo_burn_rate``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+from .timeseries import TimeSeriesStore
+
+__all__ = [
+    "SLO",
+    "AlertEvent",
+    "default_slos",
+    "evaluate_slos",
+    "slo_report",
+    "render_slo_json",
+]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a recorded series.
+
+    ``objective`` is the target good fraction (0.99 = "99% of
+    completions meet QoS").  With ``threshold`` unset the series is
+    read as a 0/1 good indicator (``qos_attained``); with it set, an
+    observation is good when ``value <= threshold`` (latency bound).
+    ``fast_window_ms``/``slow_window_ms`` are the two trailing burn
+    windows; ``fast_burn``/``slow_burn`` the rates both must exceed.
+    The SRE-workbook page defaults (14.4/6) assume hour-scale windows —
+    simulation-scale runs pass windows sized to the replay instead.
+    """
+
+    name: str
+    series: str
+    objective: float
+    threshold: Optional[float] = None
+    fast_window_ms: float = 300_000.0
+    slow_window_ms: float = 3_600_000.0
+    fast_burn: float = 14.4
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.fast_window_ms <= 0 or self.slow_window_ms <= 0:
+            raise ValueError("burn windows must be positive")
+        if self.fast_window_ms > self.slow_window_ms:
+            raise ValueError("fast window must not exceed the slow window")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed bad fraction."""
+        return 1.0 - self.objective
+
+    def is_bad(self, value: float) -> bool:
+        if self.threshold is not None:
+            return value > self.threshold
+        return value < 0.5
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One coalesced burn-rate alert.
+
+    ``t_ms`` is the first evaluation boundary where both windows
+    exceeded their thresholds; ``end_ms`` the last consecutive one.
+    ``burn_fast``/``burn_slow`` are the peak rates over the span.
+    """
+
+    slo: str
+    series: str
+    t_ms: float
+    end_ms: float
+    burn_fast: float
+    burn_slow: float
+    objective: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "series": self.series,
+            "t_ms": self.t_ms,
+            "end_ms": self.end_ms,
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_slow": round(self.burn_slow, 6),
+            "objective": self.objective,
+        }
+
+
+def default_slos(qos_ms: float, window_ms: float) -> List[SLO]:
+    """Report-ready SLOs scaled to a simulation replay.
+
+    Burn windows are multiples of the rollup window (fast = 2 windows,
+    slow = 8) rather than SRE wall-clock hours — a compressed diurnal
+    replay spans minutes of sim time.  Thresholds keep the workbook's
+    fast/slow asymmetry at page-alert sensitivity.
+    """
+    return [
+        SLO(
+            name="qos-attainment",
+            series="qos_attained",
+            objective=0.95,
+            fast_window_ms=2 * window_ms,
+            slow_window_ms=8 * window_ms,
+            fast_burn=4.0,
+            slow_burn=2.0,
+        ),
+        SLO(
+            name="p99-latency",
+            series="latency_ms",
+            objective=0.99,
+            threshold=qos_ms,
+            fast_window_ms=2 * window_ms,
+            slow_window_ms=8 * window_ms,
+            fast_burn=8.0,
+            slow_burn=4.0,
+        ),
+    ]
+
+
+def _burn_rate(
+    store: TimeSeriesStore, slo: SLO, start_ms: float, end_ms: float
+) -> float:
+    values = store.window_values(slo.series, max(start_ms, 0.0), end_ms)
+    if not values:
+        return 0.0
+    bad = sum(1 for v in values if slo.is_bad(v))
+    return (bad / len(values)) / slo.budget
+
+
+def evaluate_slos(
+    store: TimeSeriesStore,
+    slos: Sequence[SLO],
+    tracer=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[AlertEvent]:
+    """Slide both burn windows over the store and collect fired alerts.
+
+    Evaluation runs at every rollup-window boundary from the first
+    window's end to the store's span — the same grid the rollup table
+    prints, so an alert always points at visible windows.  Alerts are
+    returned sorted by (t_ms, slo name); when a ``tracer`` is given a
+    ``slo.alert`` event is emitted per alert at its firing edge, and a
+    ``registry`` gets ``slo_alerts_total`` counters plus final
+    ``slo_burn_rate`` gauges per window.
+    """
+    span = store.span_ms
+    w = store.window_ms
+    alerts: List[AlertEvent] = []
+    final_burn: Dict[str, Tuple[float, float]] = {}
+    for slo in slos:
+        open_alert: Optional[Dict[str, float]] = None
+        fast = slow = 0.0
+        t = w
+        while t <= span + 1e-9:
+            fast = _burn_rate(store, slo, t - slo.fast_window_ms, t)
+            slow = _burn_rate(store, slo, t - slo.slow_window_ms, t)
+            firing = fast >= slo.fast_burn and slow >= slo.slow_burn
+            if firing:
+                if open_alert is None:
+                    open_alert = {
+                        "t_ms": t,
+                        "end_ms": t,
+                        "burn_fast": fast,
+                        "burn_slow": slow,
+                    }
+                else:
+                    open_alert["end_ms"] = t
+                    open_alert["burn_fast"] = max(
+                        open_alert["burn_fast"], fast
+                    )
+                    open_alert["burn_slow"] = max(
+                        open_alert["burn_slow"], slow
+                    )
+            elif open_alert is not None:
+                alerts.append(_close(slo, open_alert))
+                open_alert = None
+            t += w
+        if open_alert is not None:
+            alerts.append(_close(slo, open_alert))
+        final_burn[slo.name] = (fast, slow)
+    alerts.sort(key=lambda a: (a.t_ms, a.slo))
+    if tracer is not None and tracer.enabled:
+        for alert in alerts:
+            tracer.emit(
+                "slo.alert",
+                name=alert.slo,
+                t_ms=alert.t_ms,
+                slo=alert.slo,
+                series=alert.series,
+                burn_fast=round(alert.burn_fast, 6),
+                burn_slow=round(alert.burn_slow, 6),
+                objective=alert.objective,
+            )
+    if registry is not None:
+        for slo in slos:
+            fired = [a for a in alerts if a.slo == slo.name]
+            if fired:
+                registry.counter("slo_alerts_total", slo=slo.name).inc(
+                    len(fired)
+                )
+            fast, slow = final_burn[slo.name]
+            registry.gauge(
+                "slo_burn_rate", slo=slo.name, window="fast"
+            ).set(round(fast, 6))
+            registry.gauge(
+                "slo_burn_rate", slo=slo.name, window="slow"
+            ).set(round(slow, 6))
+    return alerts
+
+
+def _close(slo: SLO, open_alert: Dict[str, float]) -> AlertEvent:
+    return AlertEvent(
+        slo=slo.name,
+        series=slo.series,
+        t_ms=open_alert["t_ms"],
+        end_ms=open_alert["end_ms"],
+        burn_fast=open_alert["burn_fast"],
+        burn_slow=open_alert["burn_slow"],
+        objective=slo.objective,
+    )
+
+
+def slo_report(
+    store: TimeSeriesStore,
+    slos: Sequence[SLO],
+    alerts: Sequence[AlertEvent],
+) -> Dict[str, Any]:
+    """Deterministic report document: rollups + SLO verdicts + alerts."""
+    return {
+        "window_ms": store.window_ms,
+        "series": {
+            name: [w.to_dict() for w in store.rollup(name)]
+            for name in store.series_names()
+        },
+        "slos": [
+            {
+                "name": slo.name,
+                "series": slo.series,
+                "objective": slo.objective,
+                "threshold": slo.threshold,
+                "fast_window_ms": slo.fast_window_ms,
+                "slow_window_ms": slo.slow_window_ms,
+                "alerts": sum(1 for a in alerts if a.slo == slo.name),
+            }
+            for slo in slos
+        ],
+        "alerts": [a.to_dict() for a in alerts],
+    }
+
+
+def render_slo_json(
+    store: TimeSeriesStore,
+    slos: Sequence[SLO],
+    alerts: Sequence[AlertEvent],
+) -> str:
+    return (
+        json.dumps(slo_report(store, slos, alerts), indent=2, sort_keys=True)
+        + "\n"
+    )

@@ -56,6 +56,8 @@ __all__ = [
 #: * ``cluster.*`` — fleet-layer decisions: per-request routing (the
 #:   power-of-two-choices pick with its sampled candidates), node
 #:   launches/terminations, and per-interval autoscaler evaluations.
+#: * ``slo.*``     — SLO evaluation over the windowed rollups:
+#:   multi-window burn-rate alerts at their firing edge.
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "request.admit": ("req", "priority"),
     "request.shed": ("req",),
@@ -90,6 +92,7 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "cluster.launch": ("node", "reason", "ready_ms"),
     "cluster.terminate": ("node", "reason"),
     "cluster.scale": ("n_nodes", "demand_rps", "utilization"),
+    "slo.alert": ("slo", "series", "burn_fast", "burn_slow", "objective"),
 }
 
 
@@ -167,16 +170,38 @@ class SpanTracer(NullTracer):
     deterministic arrival stream, the full event list is a pure function
     of (system, app, arrivals, seed, fault schedule).
 
-    An enabled tracer flips the event-heap engine into delegated mode
-    (each arrival executes through ``LeafNode.submit``, where the hooks
-    live), so traced runs emit the identical stream under either
-    simulation engine — golden-tested in ``tests/test_engine.py``.
+    Collection is two-stage: ``emit`` validates and appends a *compact
+    raw record*; the :class:`TraceEvent` objects materialize lazily the
+    first time the event list is read (``events``, ``by_kind``,
+    iteration by exporters).  Recording therefore costs one tuple per
+    event on the simulation's hot path while reads see the exact same
+    objects an eager tracer would build — ``seq`` is the record's
+    position in the combined stream either way.  The event-heap engine
+    leans on the same staging: its native traced fast path flushes
+    whole buffers of raw records (tags 1-3 below) straight into the
+    tracer, producing a stream byte-identical to the legacy per-request
+    loop — golden-tested in ``tests/test_engine.py``.
+
+    Raw-record tags (first tuple element):
+
+    * ``0`` — generic: ``(0, kind, name, ts_ms, dur_ms, args)`` (what
+      ``emit`` stages; args are fully formed).
+    * ``1`` — request admit: ``(1, t_ms, req, priority)``.
+    * ``2`` — kernel dispatch: ``(2, ready_ms, req, kernel, device,
+      point, start_ms, end_ms)``.
+    * ``3`` — request complete: ``(3, completion_ms, req, latency_ms)``.
+
+    Tags 1-3 carry raw floats; rounding to the legacy emission's six
+    decimals happens at materialization, off the timed path.
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+        #: Staged raw records, strictly after ``_events`` in stream
+        #: order; drained by :meth:`_materialize`.
+        self._raw: List[tuple] = []
         self.now_ms = 0.0
 
     def emit(
@@ -187,7 +212,7 @@ class SpanTracer(NullTracer):
         dur_ms: Optional[float] = None,
         **args: Any,
     ) -> None:
-        """Append one event; ``t_ms`` defaults to the current sim clock.
+        """Stage one event; ``t_ms`` defaults to the current sim clock.
 
         The kind must be in :data:`EVENT_SCHEMA` and carry at least the
         schema's required fields — a typo'd hook fails loudly in tests
@@ -200,25 +225,85 @@ class SpanTracer(NullTracer):
         if missing:
             raise ValueError(f"event {kind!r} missing fields {missing}")
         ts = self.now_ms if t_ms is None else t_ms
-        self._events.append(
-            TraceEvent(len(self._events), ts, kind, name, args, dur_ms)
-        )
+        self._raw.append((0, kind, name, ts, dur_ms, args))
+
+    def _materialize(self) -> None:
+        """Drain staged raw records into :class:`TraceEvent` objects."""
+        raw = self._raw
+        if not raw:
+            return
+        events = self._events
+        append = events.append
+        for rec in raw:
+            tag = rec[0]
+            if tag == 0:
+                _, kind, name, ts, dur, args = rec
+                append(TraceEvent(len(events), ts, kind, name, args, dur))
+            elif tag == 2:
+                _, ready, rq, kernel, device, point, start, end = rec
+                append(
+                    TraceEvent(
+                        len(events),
+                        ready,
+                        "kernel.dispatch",
+                        kernel,
+                        {
+                            "req": rq,
+                            "kernel": kernel,
+                            "device": device,
+                            "point": point,
+                            "start_ms": round(start, 6),
+                            "end_ms": round(end, 6),
+                        },
+                    )
+                )
+            elif tag == 1:
+                _, ts, rq, priority = rec
+                append(
+                    TraceEvent(
+                        len(events),
+                        ts,
+                        "request.admit",
+                        f"req-{rq}",
+                        {"req": rq, "priority": round(priority, 6)},
+                    )
+                )
+            else:
+                _, comp, rq, lat = rec
+                append(
+                    TraceEvent(
+                        len(events),
+                        comp,
+                        "request.complete",
+                        f"req-{rq}",
+                        {
+                            "req": rq,
+                            "latency_ms": round(lat, 6),
+                            "retries": 0,
+                        },
+                    )
+                )
+        raw.clear()
 
     @property
     def events(self) -> List[TraceEvent]:
+        self._materialize()
         return list(self._events)
 
     def by_kind(self, kind: str) -> List[TraceEvent]:
+        self._materialize()
         return [e for e in self._events if e.kind == kind]
 
     def clear(self) -> None:
         self._events.clear()
+        self._raw.clear()
         self.now_ms = 0.0
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events) + len(self._raw)
 
     def __repr__(self) -> str:
+        self._materialize()
         kinds: Dict[str, int] = {}
         for e in self._events:
             kinds[e.kind] = kinds.get(e.kind, 0) + 1

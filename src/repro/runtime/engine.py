@@ -29,10 +29,21 @@ single global event heap and an incremental-EST fast path:
   (numpy's vectorized draws match scalar draws bit-for-bit — the
   PR 5 replay technique), and folds the monitor's EWMA correction
   inline with identical arithmetic.  Runs the fast path cannot replay
-  exactly — fault injection (extra RNG consumers, heartbeats) or an
-  enabled tracer (per-request event emission) — are *delegated*:
-  the heap still orders the arrivals, but each one executes through
-  ``LeafNode.submit`` itself, which is trivially identical.
+  exactly — fault injection (extra RNG consumers, heartbeats) — are
+  *delegated*: the heap still orders the arrivals, but each one
+  executes through ``LeafNode.submit`` itself, which is trivially
+  identical.
+
+* **Native tracing.** An enabled tracer no longer delegates: the
+  engine swaps a :class:`_BufferTracer` onto the node (and its
+  scheduler) for the run's lifetime, the compiled dispatch program
+  appends compact per-request tuples (admit / kernel dispatch /
+  complete) next to the buffered control-plane emissions (replans,
+  scheduler placements, monitor snapshots), and every chunk flushes
+  the buffer to the real tracer in legacy emission order — so traced
+  seeded runs produce byte-identical span streams to the legacy loop
+  while keeping most of the engine speedup (gated by ``repro bench
+  --suite obs``).
 
 Golden A/B tests (``tests/test_engine.py``) hold the two engines
 bit-identical on seeded fault-free and chaos runs; ``repro bench
@@ -48,6 +59,7 @@ from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from ..hardware.specs import DeviceType
+from ..obs.tracer import SpanTracer
 from .node import MAX_GPU_BATCH, NOISE_SIGMA, LeafNode, RequestRecord
 
 __all__ = ["EventKind", "Event", "EventHeap", "EventHeapEngine"]
@@ -133,6 +145,39 @@ class EventHeap:
 # the first minimum seen is the lowest-ranked one.
 
 
+class _BufferTracer:
+    """Tracer stand-in the engine swaps onto the node (and its
+    scheduler) for the lifetime of a traced fast-path run.
+
+    Control-plane emissions — replans, scheduler placements, monitor
+    snapshots — land in the engine's trace buffer as passthrough
+    records, interleaved with the compact per-request tuples the
+    dispatch program appends, so :meth:`EventHeapEngine._flush_trace`
+    can replay the whole stream to the real tracer in legacy emission
+    order.  Timestamps resolve at emit time (``now_ms`` is mutable and
+    advanced by ``maybe_replan`` exactly as on a real tracer)."""
+
+    __slots__ = ("_append", "now_ms")
+
+    enabled = True
+
+    def __init__(self, buffer: list) -> None:
+        self._append = buffer.append
+        self.now_ms = 0.0
+
+    def emit(
+        self,
+        kind: str,
+        name: str = "",
+        t_ms: Optional[float] = None,
+        dur_ms: Optional[float] = None,
+        **args: Any,
+    ) -> None:
+        self._append(
+            (0, kind, name, self.now_ms if t_ms is None else t_ms, dur_ms, args)
+        )
+
+
 def _make_fill(node, platform, name, point, lats, pows):
     """Lazy GPU-ladder cell fill: evaluates the hardware model for one
     batch size on first use (exactly the sizes the legacy loop's
@@ -156,15 +201,19 @@ class EventHeapEngine:
     monitor state and the noise-buffer cursor back onto the node.
 
     Runs the fast path cannot replicate exactly — an attached fault
-    injector or an enabled tracer — are delegated to ``node.submit``
-    per arrival (``delegated`` is True); everything the engine promises
-    about bit-identity then holds trivially.
+    injector (extra RNG consumers, heartbeats) — are delegated to
+    ``node.submit`` per arrival (``delegated`` is True); everything the
+    engine promises about bit-identity then holds trivially.  An
+    enabled tracer runs *natively*: emissions buffer as compact tuples
+    and flush per chunk in legacy order, byte-identical to the
+    delegated stream (golden-tested) at a fraction of its cost.
     """
 
     def __init__(self, node: LeafNode, validate: bool = False) -> None:
         self._node = node
         self._validate = validate
-        self.delegated = node._injector is not None or node.tracer.enabled
+        self.delegated = node._injector is not None
+        self._traced = node.tracer.enabled and not self.delegated
         self.heap = EventHeap()
         #: Validation-mode accounting (see :meth:`run`).
         self.dispatched = 0
@@ -216,6 +265,23 @@ class EventHeapEngine:
         self._single_sink = sinks[0] if len(sinks) == 1 else -1
         self._finalized = False
 
+        #: Native-tracing state: the trace buffer, the real tracer, and
+        #: the request-sequence cursor adopted from the node.  The
+        #: buffer tracer stays swapped in until :meth:`finalize`.
+        self._tb: list = []
+        self._rq = node._req_seq
+        self._last_t: Optional[float] = None
+        self._sched_swapped = False
+        if self._traced:
+            self._tracer = node.tracer
+            buffer_tracer = _BufferTracer(self._tb)
+            node.tracer = buffer_tracer
+            sched = node._scheduler
+            if hasattr(sched, "tracer"):
+                self._sched_swapped = True
+                self._sched_tracer = sched.tracer
+                sched.tracer = buffer_tracer
+
     # -- driving --------------------------------------------------------------
 
     def run(
@@ -249,9 +315,13 @@ class EventHeapEngine:
 
         n = len(ordered)
         for i in range(0, n, ARRIVAL_CHUNK):
-            heap.push(
-                ordered[i], EventKind.ARRIVAL, ordered[i : i + ARRIVAL_CHUNK]
+            chunk = ordered[i : i + ARRIVAL_CHUNK]
+            prios = (
+                None
+                if priorities is None
+                else priorities[i : i + ARRIVAL_CHUNK]
             )
+            heap.push(ordered[i], EventKind.ARRIVAL, (chunk, prios))
         while heap:
             ev = heap.pop()
             if ev.t_ms < self._last_pop_ms:
@@ -261,7 +331,8 @@ class EventHeapEngine:
                 )
             self._last_pop_ms = ev.t_ms
             if ev.kind is EventKind.ARRIVAL:
-                self._process_chunk(ev.payload)
+                chunk, prios = ev.payload
+                self._process_chunk(chunk, prios)
             elif ev.kind is EventKind.KERNEL_COMPLETE:
                 self.completions_drained += 1
         self.finalize()
@@ -271,7 +342,7 @@ class EventHeapEngine:
         """Admit one arrival (the cluster driver's entry point)."""
         if self.delegated:
             return self._node.submit(t_ms, priority=priority)
-        self._process_chunk((t_ms,))
+        self._process_chunk((t_ms,), (priority,))
         return RequestRecord(
             self._req_arr[-1], self._req_comp[-1], self._req_pred[-1]
         )
@@ -292,7 +363,9 @@ class EventHeapEngine:
         sliding windows (deque ``maxlen`` truncates identically to
         per-request appends), the EWMA correction, and the noise-buffer
         cursor — after this the node is indistinguishable from one that
-        ran the legacy loop."""
+        ran the legacy loop.  Traced runs additionally flush the trace
+        buffer, restore the real tracer onto the node/scheduler, and
+        write the request-sequence cursor back."""
         if self._finalized or self.delegated:
             self._finalized = True
             return
@@ -305,7 +378,74 @@ class EventHeapEngine:
         self._lats = []
         node._noise_buf = np.asarray(self._nbuf)
         node._noise_pos = self._npos
+        if self._traced:
+            self._flush_trace()
+            node.tracer = self._tracer
+            if self._sched_swapped:
+                node._scheduler.tracer = self._sched_tracer
+            node._req_seq = self._rq
+            node._current_req = self._rq
         self._finalized = True
+
+    def _flush_trace(self) -> None:
+        """Replay the trace buffer to the real tracer.
+
+        The buffered tuples use :class:`SpanTracer`'s raw-record format
+        (tags 1-3 for the per-request lifecycle, tag 0 for control-plane
+        emissions already resolved by the buffer tracer), so a plain
+        :class:`SpanTracer` takes a single ``extend`` onto its staging
+        list — the events materialize lazily at read time into exactly
+        what ``LeafNode.submit`` would have emitted: same names, rounded
+        fields and emission order.  Tracer subclasses fall back to
+        ``emit``.
+        """
+        tr = self._tracer
+        if self._last_t is not None:
+            tr.now_ms = self._last_t
+        tb = self._tb
+        if not tb:
+            return
+        if type(tr) is SpanTracer:
+            tr._raw.extend(tb)
+        else:
+            for rec in tb:
+                tag = rec[0]
+                if tag == 2:
+                    _, ready, rq, kn, dev, pt, start, end = rec
+                    tr.emit(
+                        "kernel.dispatch",
+                        name=kn,
+                        t_ms=ready,
+                        req=rq,
+                        kernel=kn,
+                        device=dev,
+                        point=pt,
+                        start_ms=round(start, 6),
+                        end_ms=round(end, 6),
+                    )
+                elif tag == 1:
+                    _, t, rq, p = rec
+                    tr.emit(
+                        "request.admit",
+                        name=f"req-{rq}",
+                        t_ms=t,
+                        req=rq,
+                        priority=round(p, 6),
+                    )
+                elif tag == 3:
+                    _, comp, rq, lat = rec
+                    tr.emit(
+                        "request.complete",
+                        name=f"req-{rq}",
+                        t_ms=comp,
+                        req=rq,
+                        latency_ms=round(lat, 6),
+                        retries=0,
+                    )
+                else:
+                    _, kind, name, ts, dur, args = rec
+                    tr.emit(kind, name=name, t_ms=ts, dur_ms=dur, **args)
+        tb.clear()
 
     # -- plan compilation ------------------------------------------------------
 
@@ -407,7 +547,11 @@ class EventHeapEngine:
         cached = self._compiled.get(id(plan))
         if cached is None or cached[0] is not plan:
             steps = self._compile(plan)
-            fn = None if self._validate else self._codegen(steps)
+            fn = (
+                None
+                if self._validate
+                else self._codegen(steps, self._traced)
+            )
             cached = (plan, steps, fn)
             self._compiled[id(plan)] = cached
         self._steps = cached[1]
@@ -415,7 +559,7 @@ class EventHeapEngine:
 
     # -- dispatch-program generation -------------------------------------------
 
-    def _codegen(self, steps):
+    def _codegen(self, steps, traced: bool = False):
         """Specialize the compiled tables into one straight-line chunk
         runner for this plan.
 
@@ -437,6 +581,16 @@ class EventHeapEngine:
         that admits ``chunk[i:]`` until a timestamp reaches ``t_limit``
         (the next replan boundary) and returns the updated cursor and
         carried state.
+
+        With ``traced`` the runner takes three extra parameters —
+        ``rq`` (the request-sequence cursor), ``sk`` (1 when the chunk
+        driver already emitted the admit for the first request, i.e.
+        the one that triggered a replan) and ``pr`` (the chunk-aligned
+        priority sequence, or None) — appends compact admit / dispatch
+        / complete tuples to the engine's trace buffer at the same
+        program points ``LeafNode.submit`` emits, and returns ``rq``.
+        The traced variant generates different source, so it lands in
+        its own ``_CODE_CACHE`` entry.
         """
         node = self._node
         consts: list = []
@@ -485,6 +639,7 @@ class EventHeapEngine:
         RCA = bind(self._req_comp.append, "RCA")
         RPA = bind(self._req_pred.append, "RPA")
         LN = bind(node._rng.lognormal, "LN")
+        TB = bind(self._tb.append, "TB") if traced else ""
         sigma = repr(NOISE_SIGMA)
         maxb = repr(int(MAX_GPU_BATCH))
         alpha = repr(self._alpha)
@@ -546,6 +701,7 @@ class EventHeapEngine:
                         f"else e{j} + {x!r}"
                     )
                     emit(f"{pad}if p > ready: ready = p")
+            dev_id = row[0].device_id
             if entry[3]:
                 bd = bd_name[id(row[0])]
                 emit(f"{pad}b = {bd}.get({nm['K']})")
@@ -567,6 +723,11 @@ class EventHeapEngine:
                 emit(f"{pad}    rec[5] = sz")
                 emit(f"{pad}    hh = {h} + (end - oe)")
                 emit(f"{pad}    {h} = hh if hh > end else end")
+                if traced:
+                    emit(
+                        f"{pad}    {TB}((2, ready, rq, {entry[9]!r}, "
+                        f"{dev_id!r}, {entry[8]!r}, b[0], end))"
+                    )
                 emit(f"{pad}else:")
                 emit(f"{pad}    rw = ready + win")
                 emit(f"{pad}    la = {h} if {h} > rw else rw")
@@ -578,6 +739,11 @@ class EventHeapEngine:
                 emit(f"{pad}    {ra_name[id(row[0])]}(rec)")
                 emit(f"{pad}    {h} = end")
                 emit(f"{pad}    {bd}[{nm['K']}] = [la, end, 1, rec, noise]")
+                if traced:
+                    emit(
+                        f"{pad}    {TB}((2, ready, rq, {entry[9]!r}, "
+                        f"{dev_id!r}, {entry[8]!r}, la, end))"
+                    )
             else:
                 li = f"l{di}"
                 emit(f"{pad}st = {h} if {h} > ready else ready")
@@ -590,6 +756,11 @@ class EventHeapEngine:
                     f"st, end, {entry[5]!r}, 1))"
                 )
                 emit(f"{pad}{h} = end")
+                if traced:
+                    emit(
+                        f"{pad}{TB}((2, ready, rq, {entry[9]!r}, "
+                        f"{dev_id!r}, {entry[8]!r}, st, end))"
+                    )
             emit(f"{pad}e{ki} = end")
             emit(f"{pad}d{ki} = {dn}")
 
@@ -597,9 +768,10 @@ class EventHeapEngine:
             f"{name}=_C[{idx}]" for idx, name in enumerate(bound)
         )
         emit("def _make(_C):")
+        extra = " rq, sk, pr," if traced else ""
         emit(
             "    def _run(chunk, i, t_limit, win, mk, corr, npos, nbuf,"
-            f" max_comp, {params}):"
+            f" max_comp,{extra} {params}):"
         )
         emit("        n = len(chunk)")
         emit("        nlen = len(nbuf)")
@@ -615,6 +787,18 @@ class EventHeapEngine:
         emit("            if t >= t_limit:")
         emit("                break")
         emit("            i += 1")
+        if traced:
+            # The admit event precedes everything the request does
+            # (LeafNode.submit emits it first); the replan-triggering
+            # request's admit was already emitted by the chunk driver.
+            emit("            if sk:")
+            emit("                sk = 0")
+            emit("            else:")
+            emit("                rq += 1")
+            emit(
+                f"                {TB}((1, t, rq, "
+                "1.0 if pr is None else pr[i - 1]))"
+            )
 
         pad = "            "
         for ki, entries, preds in steps:
@@ -690,6 +874,8 @@ class EventHeapEngine:
         emit(f"{pad}if comp > max_comp:")
         emit(f"{pad}    max_comp = comp")
         emit(f"{pad}lat = comp - t")
+        if traced:
+            emit(f"{pad}{TB}((3, comp, rq, lat))")
         emit(f"{pad}{LATA}(lat)")
         emit(f"{pad}{RCA}(comp)")
         emit(f"{pad}{RPA}(mk)")
@@ -708,7 +894,10 @@ class EventHeapEngine:
         for ki in range(len(steps)):
             emit(f"        {ET}[{ki}] = e{ki}")
             emit(f"        {ED}[{ki}] = d{ki}")
-        emit("        return i, corr, npos, nbuf, max_comp")
+        if traced:
+            emit("        return i, corr, npos, nbuf, max_comp, rq")
+        else:
+            emit("        return i, corr, npos, nbuf, max_comp")
         emit("    return _run")
 
         src = "\n".join(out) + "\n"
@@ -727,7 +916,11 @@ class EventHeapEngine:
 
     # -- the fast path ---------------------------------------------------------
 
-    def _process_chunk(self, chunk: Sequence[float]) -> None:
+    def _process_chunk(
+        self,
+        chunk: Sequence[float],
+        prios: Optional[Sequence[float]] = None,
+    ) -> None:
         """Admit a chunk of arrivals through the compiled dispatch
         program (or the generic interpreter in validation mode).
 
@@ -735,10 +928,15 @@ class EventHeapEngine:
         ``LeafNode._execute_kernel_fast`` per kernel, with the
         monitor's bookkeeping inlined (EWMA correction folded
         sequentially; queue depth nets to zero per request; the sliding
-        windows are rebuilt at finalize).
+        windows are rebuilt at finalize).  ``prios`` only matters for
+        traced runs (admit events carry the priority); the simulated
+        floats never depend on it outside delegated chaos runs.
         """
         if self._validate:
-            self._process_chunk_generic(chunk)
+            self._process_chunk_generic(chunk, prios)
+            return
+        if self._traced:
+            self._process_chunk_traced(chunk, prios)
             return
         node = self._node
         interval = node.replan_interval_ms
@@ -775,13 +973,106 @@ class EventHeapEngine:
         if len(self._arr) > 4 * w:
             del self._arr[: len(self._arr) - w]
 
-    def _process_chunk_generic(self, chunk: Sequence[float]) -> None:
+    def _flush_monitor(self) -> None:
+        """Sync the inlined monitor state onto the node before a traced
+        replan: ``monitor.snapshot`` inside ``maybe_replan`` must see
+        exactly the arrivals/latencies/correction a legacy run would —
+        every prior request completed, the triggering one not yet
+        recorded.  ``clear()`` (never rebinding) keeps the compiled
+        program's bound ``append`` methods valid."""
+        mon = self._node.monitor
+        mon._arrival_times.extend(self._arr)
+        mon._latencies.extend(self._lats)
+        mon._correction = self._corr
+        self._arr.clear()
+        self._lats.clear()
+
+    def _process_chunk_traced(
+        self,
+        chunk: Sequence[float],
+        prios: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Traced twin of the fast chunk loop.
+
+        Differences from the untraced body, each forced by legacy
+        emission order: the admit of a replan-triggering request is
+        emitted *before* the replan's own buffered emissions (``sk=1``
+        tells the compiled runner to skip it); the monitor buffers
+        flush onto the node right before ``_sync_plan`` so the replan
+        snapshot matches; and ``_arr`` extends per processed segment —
+        never up front — so a snapshot cannot see in-flight or future
+        arrivals.  The trace buffer flushes at chunk end, keeping
+        cluster-layer emissions (``cluster.route`` lands directly on
+        the real tracer between ``process`` calls) correctly
+        interleaved.
+        """
+        node = self._node
+        interval = node.replan_interval_ms
+        self._req_arr.extend(chunk)
+        tb_append = self._tb.append
+        i = 0
+        n = len(chunk)
+        while i < n:
+            t = chunk[i]
+            sk = 0
+            if not self._plan_ok or t - self._last_replan >= interval:
+                self._rq += 1
+                tb_append(
+                    (1, t, self._rq, 1.0 if prios is None else prios[i])
+                )
+                sk = 1
+                self._flush_monitor()
+                self._sync_plan(t)
+                if not self._plan_ok:
+                    raise RuntimeError("node has no plan (fast path)")
+            prev = i
+            (
+                i,
+                self._corr,
+                self._npos,
+                self._nbuf,
+                self._max_comp,
+                self._rq,
+            ) = self._fn(
+                chunk,
+                i,
+                self._last_replan + interval,
+                self._win,
+                self._makespan,
+                self._corr,
+                self._npos,
+                self._nbuf,
+                self._max_comp,
+                self._rq,
+                sk,
+                prios,
+            )
+            self._arr.extend(chunk[prev:i])
+        w = self._window
+        if len(self._lats) > 4 * w:
+            del self._lats[: len(self._lats) - w]
+        if len(self._arr) > 4 * w:
+            del self._arr[: len(self._arr) - w]
+        if n:
+            self._last_t = chunk[n - 1]
+        self._flush_trace()
+
+    def _process_chunk_generic(
+        self,
+        chunk: Sequence[float],
+        prios: Optional[Sequence[float]] = None,
+    ) -> None:
         """Interpreter twin of the compiled dispatch program — same
         float expressions over the same tables, one table lookup at a
         time.  Validation mode runs it so every dispatch can push its
-        KERNEL_COMPLETE event through the heap."""
+        KERNEL_COMPLETE event through the heap.  Traced runs buffer
+        the same admit/dispatch/complete tuples as the compiled
+        runner."""
         node = self._node
         interval = node.replan_interval_ms
+        traced = self._traced
+        tb_append = self._tb.append
+        rq = self._rq
         last = self._last_replan
         plan_ok = self._plan_ok
         steps = self._steps
@@ -808,10 +1099,18 @@ class EventHeapEngine:
         validate = self._validate
         inf = float("inf")
 
-        for t in chunk:
+        for idx, t in enumerate(chunk):
+            if traced:
+                rq += 1
+                tb_append(
+                    (1, t, rq, 1.0 if prios is None else prios[idx])
+                )
             if not plan_ok or t - last >= interval:
                 self._npos = npos
                 self._nbuf = nbuf
+                if traced:
+                    self._corr = corr
+                    self._flush_monitor()
                 self._sync_plan(t)
                 last = self._last_replan
                 plan_ok = self._plan_ok
@@ -967,6 +1266,11 @@ class EventHeapEngine:
                         rec[5] = size
                         h = dev.horizon_ms + (end - old_end)
                         dev.horizon_ms = h if h > end else end
+                        if traced:
+                            tb_append(
+                                (2, ready, rq, entry[9], dev.device_id,
+                                 entry[8], b[0], end)
+                            )
                     else:
                         h = dev.horizon_ms
                         rw = ready + win
@@ -976,6 +1280,11 @@ class EventHeapEngine:
                         best_row[2].append(rec)
                         dev.horizon_ms = end
                         batches[key] = [launch, end, 1, rec, noise]
+                        if traced:
+                            tb_append(
+                                (2, ready, rq, entry[9], dev.device_id,
+                                 entry[8], launch, end)
+                            )
                 else:
                     h = dev.horizon_ms
                     start = h if h > ready else ready
@@ -988,6 +1297,11 @@ class EventHeapEngine:
                         [entry[9], entry[8], start, end, entry[5], 1]
                     )
                     dev.horizon_ms = end
+                    if traced:
+                        tb_append(
+                            (2, ready, rq, entry[9], dev.device_id,
+                             entry[8], start, end)
+                        )
 
                 ends_t[ki] = end
                 ends_dev[ki] = dev
@@ -1002,6 +1316,8 @@ class EventHeapEngine:
             if comp > max_comp:
                 max_comp = comp
             lat = comp - t
+            if traced:
+                tb_append((3, comp, rq, lat))
             arr_append(t)
             lat_append(lat)
             req_arr(t)
@@ -1024,3 +1340,8 @@ class EventHeapEngine:
             del self._lats[: len(self._lats) - w]
         if len(self._arr) > 4 * w:
             del self._arr[: len(self._arr) - w]
+        if traced:
+            self._rq = rq
+            if len(chunk):
+                self._last_t = chunk[len(chunk) - 1]
+            self._flush_trace()

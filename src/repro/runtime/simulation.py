@@ -161,8 +161,9 @@ def run_simulation(
     (:class:`repro.runtime.engine.EventHeapEngine`, ≥10x request
     throughput at high load); ``"legacy"`` keeps the original
     per-request submit loop.  Seeded runs are float-identical across
-    the two (golden-tested) — chaos and traced runs delegate each
-    arrival to the node, so the equivalence is structural there.
+    the two (golden-tested); traced runs emit byte-identical event
+    streams natively from the engine's loop (chaos runs delegate each
+    arrival to the node, so the equivalence is structural there).
     """
     if engine not in ("event", "legacy"):
         raise ValueError(f"unknown engine {engine!r}")

@@ -53,6 +53,17 @@ CLUSTER_KEYS = {
     "p99_ms", "qos_ok_frac", "mean_fleet", "launches", "terminations",
     "scale_up_lag_ms", "scale_down_lag_ms", "cost_efficiency",
 }
+OBS_KEYS = {"trial_s", "median_s", "cold_s", "speedup", "overhead", "loads"}
+OBS_LOAD_KEYS = {
+    "rps", "duration_ms", "requests", "events", "legacy_trial_s",
+    "legacy_median_s", "event_cold_s", "event_trial_s", "event_median_s",
+    "untraced_trial_s", "untraced_median_s", "pair_speedups", "speedup",
+    "overhead", "identical", "sampling",
+}
+OBS_SAMPLING_KEYS = {
+    "head_rate", "kept_events", "total_events", "kept_requests",
+    "dropped_spans",
+}
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +82,7 @@ class TestSchema:
         row = mf_doc["apps"]["MF"]
         assert set(row) == {
             "dse", "scheduler", "simulation", "sched", "sim", "cluster",
+            "obs",
         }
         assert set(row["dse"]) == DSE_KEYS
         assert set(row["dse"]["cache"]) == CACHE_KEYS
@@ -84,6 +96,11 @@ class TestSchema:
         for load in row["sim"]["loads"].values():
             assert set(load) == RT_SIM_LOAD_KEYS
         assert set(row["cluster"]) == CLUSTER_KEYS
+        assert set(row["obs"]) == OBS_KEYS
+        for load in row["obs"]["loads"].values():
+            assert set(load) == OBS_LOAD_KEYS
+            assert set(load["sampling"]) == OBS_SAMPLING_KEYS
+            assert load["identical"] is True
 
     def test_trial_counts_and_medians(self, mf_doc):
         row = mf_doc["apps"]["MF"]
@@ -213,6 +230,12 @@ class TestCheckedInBaseline:
         for app, row in doc["apps"].items():
             assert {"median_s", "cold_s"} <= set(row["cluster"]), app
 
+    def test_baseline_gates_obs_sections(self):
+        """The tracing-overhead sections must carry the gated metrics."""
+        doc = load_bench_json(BASELINE_PATH)
+        for app, row in doc["apps"].items():
+            assert {"median_s", "cold_s", "speedup"} <= set(row["obs"]), app
+
 
 class TestSchedSuite:
     def test_sched_suite_runs_only_sched(self):
@@ -301,6 +324,29 @@ class TestSimSuite:
         assert cli_main(args + ["--min-sim-speedup", "1e9"]) == 1
         assert cli_main(args + ["--min-sim-speedup", "0.0"]) == 0
         assert load_bench_json(out)["suite"] == "sim"
+
+
+class TestObsSuite:
+    def test_obs_suite_runs_only_obs(self):
+        doc = run_bench(app_names=["MF"], trials=1, label="o", suite="obs")
+        assert doc["suite"] == "obs"
+        row = doc["apps"]["MF"]
+        assert set(row) == {"obs"}
+        assert set(row["obs"]) == OBS_KEYS
+        high = row["obs"]["loads"]["high"]
+        assert high["identical"] is True
+        assert high["overhead"] >= 1.0
+        assert 0 < high["sampling"]["kept_events"] <= high["events"]
+
+    def test_cli_min_obs_retention_gate(self, tmp_path):
+        out = tmp_path / "BENCH_o.json"
+        args = [
+            "bench", "--app", "mf", "--suite", "obs", "--trials", "1",
+            "--label", "o", "--out", str(out),
+        ]
+        assert cli_main(args + ["--min-obs-retention", "1e9"]) == 1
+        assert cli_main(args + ["--min-obs-retention", "0.0"]) == 0
+        assert load_bench_json(out)["suite"] == "obs"
 
 
 class TestClusterSuite:
