@@ -575,8 +575,138 @@ def _bench_cluster(app, system, spaces, trials: int, seed: int) -> Dict:
     }
 
 
+#: Synthetic knob-space enlargement for the dse-search bench: a denser
+#: frequency ladder plus extra work-group sizes.  Both knobs exist on
+#: every device family, so the override multiplies each per-device
+#: space — 10x on the GPU (freq 4->20, wg 4->8) and ~27x on the FPGA
+#: (freq 3->20, wg 2->8) — without inventing knobs the models ignore.
+_DSE_SEARCH_OVERRIDES = {
+    "freq_scale": tuple(
+        round(float(v), 4) for v in np.linspace(0.3, 1.0, 20)
+    ),
+    "work_group_size": (32, 64, 96, 128, 192, 256, 384, 512),
+}
+
+#: Evaluation budget the guided explorer gets on the enlarged space.
+_DSE_SEARCH_MAX_EVALS = 512
+
+
+def _bench_dse_search(app, platforms, trials: int, n_jobs: int, seed: int) -> Dict:
+    """Guided (successive-halving + genetic) DSE vs. exhaustive enumeration.
+
+    Two questions, answered on two spaces:
+
+    * **Exactness** — on the app's real (un-enlarged) knob space the
+      guided explorer gets an unbounded budget, which makes every
+      (kernel, platform) run exhaustive-equivalent; its Pareto front
+      must equal the exhaustive front point-for-point
+      (``front_identical``, the golden A/B contract of
+      ``tests/test_search.py``).
+    * **Efficiency** — on the :data:`_DSE_SEARCH_OVERRIDES`-enlarged
+      space (>=10x per device) the budgeted explorer must recover
+      >=99% of the exhaustive hypervolume with a fraction of the model
+      evaluations.  Each trial times exhaustive and guided
+      back-to-back from a cold model cache, so the gated ``speedup``
+      is a median of per-pair ratios like the sched/sim benches;
+      requested-evaluation counts come from the cache's own counters
+      (hits + misses == evaluations the strategy asked for).
+
+    Hypervolume ratios share one reference per (kernel, platform) —
+    1.05x the exhaustive space's worst corner — so guided fronts are
+    scored against the ground-truth frame, not their own.  The
+    enlarged-space runs use ``validate=False``: per-config lint over a
+    ~30x space measures the linter, not the search.
+    """
+    from ..optim.dse import explore_application
+    from ..optim.search import SearchConfig, space_hypervolume
+
+    def explore(strategy, search=None, overrides=None):
+        return explore_application(
+            app.kernels, platforms, n_jobs=n_jobs, strategy=strategy,
+            search=search, candidate_overrides=overrides,
+        )
+
+    def front_key(space):
+        return [
+            (p.config, p.latency_ms, p.power_w) for p in space.pareto()
+        ]
+
+    # Exactness on the real space: unbounded budget -> exhaustive-
+    # equivalent guided runs, fronts must match exactly.
+    clear_model_cache()
+    exact_exhaustive = explore("exhaustive")
+    full_budget = SearchConfig(max_evals=10**9, seed=seed)
+    exact_guided = explore("guided", search=full_budget)
+    front_identical = all(
+        front_key(exact_exhaustive[key]) == front_key(exact_guided[key])
+        for key in exact_exhaustive
+    )
+
+    # Efficiency on the enlarged space: paired cold-vs-cold trials.
+    search = SearchConfig(max_evals=_DSE_SEARCH_MAX_EVALS, seed=seed)
+    exhaustive_s: List[float] = []
+    guided_s: List[float] = []
+    exhaustive_spaces = guided_spaces = None
+    exhaustive_evals = 0
+    for _ in range(trials):
+        clear_model_cache()
+        start = time.perf_counter()
+        exhaustive_spaces = explore(
+            "exhaustive", overrides=_DSE_SEARCH_OVERRIDES
+        )
+        exhaustive_s.append(time.perf_counter() - start)
+        exhaustive_evals = model_cache.hits + model_cache.misses
+        clear_model_cache()
+        start = time.perf_counter()
+        guided_spaces = explore(
+            "guided", search=search, overrides=_DSE_SEARCH_OVERRIDES
+        )
+        guided_s.append(time.perf_counter() - start)
+    assert exhaustive_spaces is not None and guided_spaces is not None
+
+    guided_evals = sum(
+        s.search_stats.evaluations for s in guided_spaces.values()
+    )
+    explored = sum(
+        s.search_stats.explored for s in guided_spaces.values()
+    )
+    ratios = []
+    for key, ex_space in exhaustive_spaces.items():
+        reference = (
+            1.05 * max(p.latency_ms for p in ex_space),
+            1.05 * max(p.power_w for p in ex_space),
+        )
+        hv_exhaustive = space_hypervolume(ex_space, reference)
+        hv_guided = space_hypervolume(guided_spaces[key], reference)
+        ratios.append(hv_guided / hv_exhaustive if hv_exhaustive else 1.0)
+
+    pair_speedups = [ex / g for ex, g in zip(exhaustive_s, guided_s)]
+    return {
+        "trial_s": guided_s,
+        "median_s": statistics.median(guided_s),
+        "cold_s": guided_s[0],
+        "exhaustive_trial_s": exhaustive_s,
+        "exhaustive_median_s": statistics.median(exhaustive_s),
+        "pair_speedups": pair_speedups,
+        "speedup": statistics.median(pair_speedups),
+        "explored": explored,
+        "exhaustive_evaluations": exhaustive_evals,
+        "guided_evaluations": guided_evals,
+        "eval_ratio": (
+            round(exhaustive_evals / guided_evals, 4) if guided_evals else None
+        ),
+        "hypervolume_ratio": round(min(ratios), 6),
+        "hypervolume_ratio_mean": round(
+            sum(ratios) / len(ratios), 6
+        ),
+        "front_identical": front_identical,
+        "max_evals": _DSE_SEARCH_MAX_EVALS,
+        "seed": seed,
+    }
+
+
 #: Section sets per bench suite.
-_SUITES = ("full", "sched", "sim", "cluster", "obs")
+_SUITES = ("full", "sched", "sim", "cluster", "obs", "dse")
 
 
 def run_bench(
@@ -594,12 +724,14 @@ def run_bench(
     """Run the harness; returns the BENCH document as a dict.
 
     ``suite`` selects the sections: ``"full"`` runs DSE + scheduler +
-    simulation + sched + sim + cluster (everything), ``"sched"`` runs
-    only the runtime sched benchmark (plan-cache on/off throughput),
-    ``"sim"`` runs only the engine benchmark (event-heap vs. legacy
-    loop throughput), ``"cluster"`` runs only the fleet replay
-    benchmark, and ``"obs"`` runs only the tracing-overhead benchmark
-    (retained traced-engine speedup vs. the legacy loop).
+    simulation + sched + sim + cluster + obs + dse-search (everything),
+    ``"sched"`` runs only the runtime sched benchmark (plan-cache
+    on/off throughput), ``"sim"`` runs only the engine benchmark
+    (event-heap vs. legacy loop throughput), ``"cluster"`` runs only
+    the fleet replay benchmark, ``"obs"`` runs only the
+    tracing-overhead benchmark (retained traced-engine speedup vs. the
+    legacy loop), and ``"dse"`` runs only the guided-vs-exhaustive
+    search benchmark (paired timing, eval counts, hypervolume ratio).
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -642,6 +774,10 @@ def run_bench(
             row["cluster"] = _bench_cluster(app, system, spaces, trials, seed)
         if suite in ("full", "obs"):
             row["obs"] = _bench_obs(app, system, spaces, trials, seed)
+        if suite in ("full", "dse"):
+            row["dse_search"] = _bench_dse_search(
+                app, system.platforms, trials, n_jobs, seed
+            )
         doc["apps"][name] = row
     return doc
 
@@ -719,5 +855,15 @@ def render_bench(doc: Dict) -> str:
                 f"{high['events']:,} events, "
                 f"sampled {samp['kept_events']:,}, "
                 f"identical={high['identical']})"
+            )
+        if "dse_search" in row:
+            d = row["dse_search"]
+            lines.append(
+                f"  {name:4s} dse-srch {d['exhaustive_median_s']*1000:8.1f} ms exhaustive / "
+                f"{d['median_s']*1000:8.1f} ms guided "
+                f"({d['speedup']:.2f}x, evals {d['exhaustive_evaluations']} vs "
+                f"{d['guided_evaluations']} ({d['eval_ratio']:.1f}x), "
+                f"hv {d['hypervolume_ratio']:.4f}, "
+                f"front_identical={d['front_identical']})"
             )
     return "\n".join(lines)

@@ -7,9 +7,14 @@ Commands
     Regenerate one paper table/figure (``fig01`` … ``fig14``,
     ``table2``) and print its text rendering.
 
-``dse APP [--setting I]``
+``dse APP [--setting I] [--strategy exhaustive|guided] [--budget N]
+        [--search-seed 0]``
     Run the offline DSE for one benchmark and print each kernel's
-    design-space summary and Pareto extremes.
+    design-space summary and Pareto extremes.  ``--strategy guided``
+    runs the budgeted successive-halving + genetic explorer
+    (``--budget`` model evaluations per kernel/device, seeded by
+    ``--search-seed``) and reports explored/evaluated/skipped counts
+    per space.
 
 ``schedule APP [--setting I]``
     Print the two-step runtime schedule (Fig.-6 style) for one request
@@ -25,7 +30,11 @@ Commands
     Run the static diagnostics engine over the bundled benchmarks
     (all six by default).  ``--dse`` additionally validates the DSE
     product and the scheduler admission of each app.  Exits nonzero
-    when any ERROR diagnostic fires.
+    when any ERROR diagnostic fires.  Guided-search hygiene is covered
+    by OPT004 (with a ``SearchConfig`` in context the budget applies
+    to model evaluations, ``min(enumerated, max_evals)``) and OPT005
+    (a guided search without a seed or without a
+    ``min_hypervolume_ratio`` quality gate).
 
 ``faults APP [--rps 30] [--crash DEV@MS] [--recover DEV@MS]
         [--mtbf-ms N --mttr-ms N] [--seed 0] [--json]``
@@ -45,27 +54,33 @@ Commands
     ``--system`` to rotate launches through heterogeneous node
     templates.  The autoscaler config is linted (RT007) before the run.
 
-``bench [--app NAME] [--suite full|sched|sim|cluster|obs] [--trials 3]
-        [--n-jobs 1] [--label L] [--check BASELINE] [--max-ratio 2.0]
-        [--min-sched-speedup X] [--min-sim-speedup X]
-        [--min-obs-retention X]``
+``bench [--app NAME] [--suite full|sched|sim|cluster|obs|dse]
+        [--trials 3] [--n-jobs 1] [--label L] [--check BASELINE]
+        [--max-ratio 2.0] [--min-sched-speedup X] [--min-sim-speedup X]
+        [--min-obs-retention X] [--min-dse-speedup X]
+        [--min-hypervolume-ratio X]``
     Deterministic performance benchmark: time per-app DSE (cold and
     cache-warm), the two-step scheduler, a fixed seeded simulation, the
     runtime ``sched`` suite (steady-state throughput with the
     schedule-plan cache on vs off, bit-identical results), the ``sim``
     suite (event-heap engine vs. the legacy per-request loop,
-    float-identical results) and the ``cluster`` fleet replay (mini
-    diurnal profile: throughput, p99, scale lag) and the ``obs``
+    float-identical results), the ``cluster`` fleet replay (mini
+    diurnal profile: throughput, p99, scale lag), the ``obs``
     tracing-overhead suite (traced event engine vs. traced legacy
-    loop, byte-identical streams) over repeated trials; write
+    loop, byte-identical streams) and the ``dse`` search suite
+    (guided vs. exhaustive exploration on a >=10x-enlarged knob
+    space: paired timing, evaluation counts, hypervolume ratio, and
+    exact-front parity on the real space) over repeated trials; write
     ``BENCH_<label>.json``.  ``--suite sched``/``--suite sim``/
-    ``--suite cluster``/``--suite obs`` run only that suite.
-    ``--check`` gates the run against a baseline document (CI's
-    ``perf-smoke`` job) and exits nonzero on a >``--max-ratio``
+    ``--suite cluster``/``--suite obs``/``--suite dse`` run only that
+    suite.  ``--check`` gates the run against a baseline document
+    (CI's ``perf-smoke`` job) and exits nonzero on a >``--max-ratio``
     normalized regression; ``--min-sched-speedup`` /
-    ``--min-sim-speedup`` / ``--min-obs-retention`` additionally fail
-    when the warm plan-cached (resp. event-engine, traced-engine)
-    speedup drops below X.
+    ``--min-sim-speedup`` / ``--min-obs-retention`` /
+    ``--min-dse-speedup`` additionally fail when the warm plan-cached
+    (resp. event-engine, traced-engine, guided-search) speedup drops
+    below X, and ``--min-hypervolume-ratio`` fails when the guided
+    front recovers less than X of the exhaustive hypervolume.
 
 ``obs APP [--rps 20] [--ms 4000] [--seed 0] [--out-dir obs_out]
         [--summary] [--crash DEV@MS] [--recover DEV@MS]``
@@ -115,18 +130,35 @@ def _cmd_figure(args) -> int:
 def _cmd_dse(args) -> int:
     app = apps_mod.build(args.app)
     system = runtime.setting(args.setting, "Heter-Poly")
-    spaces = app.explore(system.platforms, n_jobs=args.n_jobs)
-    print(f"{app} on Setting-{args.setting}")
+    search = None
+    if args.strategy == "guided":
+        from .optim import SearchConfig
+
+        search = SearchConfig(max_evals=args.budget, seed=args.search_seed)
+    spaces = app.explore(
+        system.platforms, n_jobs=args.n_jobs, strategy=args.strategy,
+        search=search,
+    )
+    print(f"{app} on Setting-{args.setting} ({args.strategy})")
     for kernel in app.kernels:
         for spec in system.platforms:
             space = spaces[(kernel.name, spec.name)]
             s = space.summary()
-            print(
+            line = (
                 f"  {kernel.name:22s} {spec.device_type.value.upper():4s} "
                 f"{len(space):4d} pts ({int(s['pareto_points'])} Pareto)  "
                 f"lat [{s['latency_min_ms']:8.1f}, {s['latency_max_ms']:9.1f}] ms  "
                 f"power [{s['power_min_w']:5.1f}, {s['power_max_w']:6.1f}] W"
             )
+            stats = space.search_stats
+            if stats is not None:
+                line += (
+                    f"  [guided: {stats.evaluations}/{stats.explored} evals"
+                    + (", exhaustive-equivalent" if stats.exhaustive_equivalent
+                       else f", {stats.generations} gen(s)")
+                    + "]"
+                )
+            print(line)
     return 0
 
 
@@ -405,14 +437,11 @@ def _cmd_obs(args) -> int:
     from .hardware.model_cache import model_cache
 
     model_cache.bind_metrics(registry)
-    spaces = app.explore(system.platforms)
+    # The DSE reports its own counters (dse_design_points_total,
+    # dse_pruned_invalid_total) through the registry — identical for
+    # serial, pooled and guided paths.
+    spaces = app.explore(system.platforms, metrics=registry)
     model_cache.bind_metrics(None)
-    registry.counter("dse_pruned_invalid_total").inc(
-        sum(s.pruned_invalid for s in spaces.values())
-    )
-    registry.counter("dse_design_points_total").inc(
-        sum(len(s) for s in spaces.values())
-    )
     arrivals = runtime.poisson_arrivals(
         args.rps, args.ms, rng=np.random.default_rng(args.seed)
     )
@@ -751,6 +780,7 @@ def _cmd_bench(args) -> int:
         ("sched", args.min_sched_speedup),
         ("sim", args.min_sim_speedup),
         ("obs", args.min_obs_retention),
+        ("dse_search", args.min_dse_speedup),
     ):
         if gate is None:
             continue
@@ -763,6 +793,20 @@ def _cmd_bench(args) -> int:
             print(
                 f"  {app:4s} {section} speedup {speedup:5.2f}x "
                 f"(gate >= {gate:.1f}x) "
+                f"[{'OK' if ok else 'REGRESSION'}]"
+            )
+            failed = failed or not ok
+    if args.min_hypervolume_ratio is not None:
+        for app, row in sorted(doc["apps"].items()):
+            sec = row.get("dse_search")
+            if sec is None:
+                continue
+            ratio = sec["hypervolume_ratio"]
+            ok = ratio >= args.min_hypervolume_ratio and sec["front_identical"]
+            print(
+                f"  {app:4s} dse_search hypervolume {ratio:.4f} "
+                f"(gate >= {args.min_hypervolume_ratio:.2f}, "
+                f"front_identical={sec['front_identical']}) "
                 f"[{'OK' if ok else 'REGRESSION'}]"
             )
             failed = failed or not ok
@@ -787,6 +831,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="DSE worker processes (-1 = all CPUs); any count is bit-identical",
+    )
+    p.add_argument(
+        "--strategy",
+        default="exhaustive",
+        choices=("exhaustive", "guided"),
+        help="'guided' = budgeted successive-halving + genetic search",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=512,
+        help="guided-search model-evaluation budget per kernel/device",
+    )
+    p.add_argument(
+        "--search-seed",
+        type=int,
+        default=0,
+        help="guided-search RNG seed (same seed -> identical product)",
     )
     p.set_defaults(fn=_cmd_dse)
 
@@ -999,12 +1061,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="full",
-        choices=("full", "sched", "sim", "cluster", "obs"),
-        help="'full' = DSE+scheduler+simulation+sched+sim+cluster+obs, "
+        choices=("full", "sched", "sim", "cluster", "obs", "dse"),
+        help="'full' = DSE+scheduler+simulation+sched+sim+cluster+obs+dse, "
         "'sched' = runtime plan-cache benchmark only, "
         "'sim' = event-heap engine vs legacy loop benchmark only, "
         "'cluster' = fleet replay benchmark only, "
-        "'obs' = tracing-overhead benchmark only",
+        "'obs' = tracing-overhead benchmark only, "
+        "'dse' = guided-vs-exhaustive search benchmark only",
     )
     p.add_argument("--label", default="local", help="BENCH_<label>.json tag")
     p.add_argument(
@@ -1043,6 +1106,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="fail when any app's traced event-engine speedup over the "
         "traced legacy loop is below X",
+    )
+    p.add_argument(
+        "--min-dse-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any app's guided-search speedup over exhaustive "
+        "enumeration (enlarged space) is below X",
+    )
+    p.add_argument(
+        "--min-hypervolume-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any app's guided front recovers less than X of "
+        "the exhaustive hypervolume, or the real-space fronts differ",
     )
     p.add_argument("--json", action="store_true", help="print the full document")
     p.set_defaults(fn=_cmd_bench)

@@ -17,6 +17,7 @@ from .model_cache import (
     cache_stats,
     clear_model_cache,
     evaluate_cached,
+    evaluate_many_cached,
     kernel_signature,
     model_cache,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ModelEvalCache",
     "model_cache",
     "evaluate_cached",
+    "evaluate_many_cached",
     "cache_stats",
     "clear_model_cache",
     "kernel_signature",

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from ..patterns.ppg import Kernel
 from .config import ImplConfig
@@ -222,6 +225,163 @@ class FPGAModel:
     def feasible(self, kernel: Kernel, config: ImplConfig) -> bool:
         """Whether the implementation places-and-routes on this part."""
         return self.resources(kernel, config).fits(self.spec)
+
+    # -- vectorized batch evaluation -----------------------------------------
+
+    def _resource_arrays(
+        self, kernel: Kernel, configs: Sequence[ImplConfig]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`resources` + :meth:`ResourceUsage.fits`.
+
+        Returns ``(feasible, util, lanes)`` where ``util`` is the
+        dominant-resource utilization capped at 1.0 (what the timing
+        and power models consume).  The arithmetic replicates the scalar
+        expressions operand-for-operand; resource counts stay well under
+        2**53, so the float64 ceil/trunc values equal the scalar ints
+        exactly.
+        """
+        n = len(configs)
+        lanes = np.fromiter(
+            (c.parallel_lanes for c in configs), dtype=np.int64, count=n
+        )
+        ports = np.fromiter(
+            (c.bram_ports for c in configs), dtype=np.int64, count=n
+        )
+        pipelined = np.fromiter(
+            (c.pipelined for c in configs), dtype=bool, count=n
+        )
+        double_buffer = np.fromiter(
+            (c.double_buffer for c in configs), dtype=bool, count=n
+        )
+        fused = np.fromiter((c.fused for c in configs), dtype=bool, count=n)
+
+        per_lane = self.DSP_PER_LANE.get(kernel.workload_summary().op_kind, 2.0)
+        dsp = np.ceil(lanes * per_lane)
+
+        # _buffer_bytes: the pre-port working set takes one of four
+        # integer values (fused x double_buffer); compute them with the
+        # scalar int arithmetic and select.
+        ws_fused = max(kernel.intermediate_bytes, 4096)
+        ws_plain = max(kernel.io_bytes // 16, 4096)
+        ws = np.where(fused, ws_fused, ws_plain)
+        ws = np.where(double_buffer, ws * 2, ws)
+        ws = ws * (1.0 + 0.10 * (ports - 1))
+        buffer_bytes = np.trunc(np.minimum(ws, self.spec.bram_bytes * 0.95))
+
+        logic = (
+            self.SHELL_LOGIC_K
+            + lanes * self.LOGIC_K_PER_LANE
+            + 2.0 * ports
+            + np.where(pipelined, 15.0, 5.0)
+        )
+
+        feasible = (
+            (dsp <= self.spec.dsp_slices)
+            & (buffer_bytes <= self.spec.bram_bytes)
+            & (logic <= self.spec.logic_cells_k)
+        )
+        util = np.maximum(
+            np.maximum(dsp / self.spec.dsp_slices, buffer_bytes / self.spec.bram_bytes),
+            logic / self.spec.logic_cells_k,
+        )
+        util = np.minimum(util, 1.0)
+        return feasible, util, lanes
+
+    def feasible_batch(
+        self, kernel: Kernel, configs: Sequence[ImplConfig]
+    ) -> np.ndarray:
+        """Vectorized placement check; one bool per config."""
+        if len(configs) == 0:
+            return np.zeros(0, dtype=bool)
+        return self._resource_arrays(kernel, configs)[0]
+
+    def estimate_batch(
+        self, kernel: Kernel, configs: Sequence[ImplConfig], batch: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Feasibility + latency/power for many configs in one pass.
+
+        Float-identical to the scalar :meth:`feasible`/:meth:`estimate`
+        pair (the guided-DSE golden contract): branch-dependent factors
+        are selected per row, ``freq_scale ** 2`` and the step/fill
+        terms come from the same Python scalar expressions, and the
+        combining numpy float64 arithmetic mirrors the scalar grouping
+        exactly.  Returns ``(feasible, latency_ms, active_power_w)``;
+        infeasible rows carry NaN estimates, matching the cached-entry
+        convention of :mod:`repro.hardware.model_cache`.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        n = len(configs)
+        if n == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0), np.zeros(0)
+        feasible, util, lanes = self._resource_arrays(kernel, configs)
+        ports = np.fromiter(
+            (c.bram_ports for c in configs), dtype=np.int64, count=n
+        )
+        pipelined = np.fromiter(
+            (c.pipelined for c in configs), dtype=bool, count=n
+        )
+        double_buffer = np.fromiter(
+            (c.double_buffer for c in configs), dtype=bool, count=n
+        )
+        fused = np.fromiter((c.fused for c in configs), dtype=bool, count=n)
+        pow_t: Dict[float, float] = {}
+        freq = np.empty(n)
+        freq_sq = np.empty(n)
+        for i, c in enumerate(configs):
+            f = c.freq_scale
+            fp = pow_t.get(f)
+            if fp is None:
+                fp = pow_t[f] = f ** 2
+            freq[i] = f
+            freq_sq[i] = fp
+
+        base = self.spec.peak_freq_mhz * self.spec.achievable_freq_frac
+        base_arr = np.where(
+            util > 0.7, base * (1.0 - 0.35 * (util - 0.7) / 0.3), base
+        )
+        freq_mhz = base_arr * freq
+
+        ii = np.where(pipelined, 1.0, self.UNPIPELINED_II)
+        feeds = ports * 2.0 * 16.0
+        starvation = np.maximum(lanes / feeds, 1.0)
+        eff_ii = ii * starvation
+
+        ops = kernel.total_ops * batch
+        cycles = ops / np.maximum(lanes, 1) * eff_ii
+        n_stages = max(len(kernel.patterns), 1)
+        wl = kernel.workload_summary()
+        fill = self.DEPTH_PER_STAGE * n_stages * max(wl.sequential_steps ** 0.5, 1.0)
+        compute_ms = (cycles + fill) / (freq_mhz * 1e3)
+
+        stationary = float(kernel.resident_stationary_bytes)
+        streamed = float(kernel.resident_streamed_bytes)
+        act_base = float(kernel.io_bytes) - stationary - streamed
+        activations = np.where(
+            fused, act_base, act_base + kernel.intermediate_bytes
+        )
+        compressed = stationary / self.RESIDENT_COMPRESSION
+        if compressed <= self.spec.bram_bytes * self.RESIDENT_BRAM_FRAC:
+            resident_stream = compressed
+        else:
+            resident_stream = stationary * wl.sequential_steps
+        resident_stream += streamed * batch
+        bytes_moved = activations * batch + resident_stream
+        bw_eff = np.where(double_buffer, 0.75, 0.45)
+        memory_ms = bytes_moved / (self.spec.mem_bandwidth_gbps * 1e6 * bw_eff)
+        overlapped = np.maximum(compute_ms, memory_ms) + 0.1 * np.minimum(
+            compute_ms, memory_ms
+        )
+        exec_ms = np.where(double_buffer, overlapped, compute_ms + memory_ms)
+        exec_ms = exec_ms * kernel.latency_bias(self.spec.device_type)
+
+        dynamic_range = self.spec.peak_power_w - self.spec.idle_power_w
+        activity = util * np.where(pipelined, 0.8, 0.6)
+        power = self.spec.idle_power_w + dynamic_range * activity * freq_sq
+
+        exec_ms = np.where(feasible, exec_ms, np.nan)
+        power = np.where(feasible, power, np.nan)
+        return feasible, exec_ms, power
 
     def idle_power_w(self) -> float:
         """Power with an idle (minimal) bitstream loaded."""

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from ..patterns.ppg import Kernel
 from .config import ImplConfig
@@ -209,6 +212,128 @@ class GPUModel:
             return self.estimate(kernel, config, batch).latency_ms
         finally:
             kernel.platform_bias = saved
+
+    # -- vectorized batch evaluation -----------------------------------------
+
+    def estimate_batch(
+        self, kernel: Kernel, configs: Sequence[ImplConfig], batch: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Latency/power for many configs in one vectorized pass.
+
+        Float-identical to calling :meth:`estimate` per config (the
+        guided-DSE golden contract): every sub-model that involves a
+        transcendental or a branch (occupancy, compute/bandwidth
+        efficiency, effective bytes, ``freq_scale ** 2.2``) is computed
+        by the *scalar* methods once per unique knob tuple and broadcast
+        by table lookup, and the combining arithmetic below replicates
+        the scalar expression grouping exactly — numpy float64
+        ``+ - * / min max`` on the same operands in the same order
+        produce the same IEEE results.
+
+        Returns ``(latency_ms, active_power_w)`` float64 arrays aligned
+        with ``configs``.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self._estimate_arrays(kernel, configs, batch, apply_bias=True)
+
+    def _estimate_arrays(
+        self,
+        kernel: Kernel,
+        configs: Sequence[ImplConfig],
+        batch: int,
+        apply_bias: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(configs)
+        if n == 0:
+            return np.zeros(0), np.zeros(0)
+        wl = kernel.workload_summary()
+        steps = wl.sequential_steps
+        dp1 = max(kernel.max_data_parallelism // steps, 1)
+
+        # Per-unique-knob tables filled by the scalar sub-models.  The
+        # knob-candidate lists are tiny (|wg| x |unroll| x 2 bools), so
+        # the scalar calls are a rounding error next to the batch size.
+        occ_t: Dict[int, Tuple[float, float, float]] = {}
+        eff_t: Dict[Tuple[int, int, bool], float] = {}
+        bw_t: Dict[bool, float] = {}
+        bytes_t: Dict[Tuple[bool, bool], float] = {}
+        pow_t: Dict[float, float] = {}
+
+        occ = np.empty(n)
+        occ1 = np.empty(n)
+        occ_sqrt = np.empty(n)
+        ceff = np.empty(n)
+        bw_eff = np.empty(n)
+        eff_bytes = np.empty(n)
+        freq = np.empty(n)
+        freq_pow = np.empty(n)
+        for i, config in enumerate(configs):
+            wg = config.work_group_size
+            row = occ_t.get(wg)
+            if row is None:
+                o = self.occupancy(config, dp1 * batch)
+                row = (o, max(self.occupancy(config, dp1), 1e-9), o ** 0.5)
+                occ_t[wg] = row
+            occ[i], occ1[i], occ_sqrt[i] = row
+            eff_key = (wg, config.unroll, config.pipelined)
+            e = eff_t.get(eff_key)
+            if e is None:
+                e = eff_t[eff_key] = self.compute_efficiency(kernel, config)
+            ceff[i] = e
+            b = bw_t.get(config.memory_coalescing)
+            if b is None:
+                b = bw_t[config.memory_coalescing] = self.bandwidth_efficiency(
+                    kernel, config
+                )
+            bw_eff[i] = b
+            mem_key = (config.fused, config.use_scratchpad)
+            m = bytes_t.get(mem_key)
+            if m is None:
+                m = bytes_t[mem_key] = self._effective_bytes(
+                    kernel, config, batch, steps
+                )
+            eff_bytes[i] = m
+            f = config.freq_scale
+            fp = pow_t.get(f)
+            if fp is None:
+                fp = pow_t[f] = f ** 2.2
+            freq[i] = f
+            freq_pow[i] = fp
+
+        gflops = self.spec.peak_gflops * freq
+        eff = np.minimum(ceff * occ / occ1 * occ_sqrt, 0.9)
+        compute_ms = kernel.total_ops * batch / (gflops * 1e6 * np.maximum(eff, 1e-3))
+        bw = self.spec.mem_bandwidth_gbps * 1e6 * bw_eff
+        memory_ms = eff_bytes / bw
+
+        longer = np.maximum(compute_ms, memory_ms)
+        shorter = np.minimum(compute_ms, memory_ms)
+        exec_ms = longer + (1.0 - self.OVERLAP) * shorter
+        sync_ms = self.STEP_SYNC_MS * (steps - 1)
+        latency_ms = self.spec.launch_overhead_ms + exec_ms + sync_ms
+        if apply_bias:
+            bias = kernel.latency_bias(self.spec.device_type)
+            if bias != 1.0:
+                if steps > 8:
+                    if batch == 1:
+                        floor = latency_ms
+                    else:
+                        floor, _ = self._estimate_arrays(
+                            kernel, configs, 1, apply_bias=False
+                        )
+                    latency_ms = latency_ms + (bias - 1.0) * floor
+                else:
+                    latency_ms = latency_ms * bias
+
+        total = compute_ms + memory_ms
+        compute_frac = np.full(n, 0.5)
+        np.divide(compute_ms, total, out=compute_frac, where=total > 0)
+        activity = occ * (0.5 + 0.5 * eff / 0.85)
+        activity = activity * (0.65 + 0.35 * compute_frac)
+        dynamic_range = self.spec.peak_power_w - self.spec.idle_power_w
+        power = self.spec.idle_power_w + dynamic_range * activity * freq_pow
+        return latency_ms, power
 
     def _active_power(
         self,

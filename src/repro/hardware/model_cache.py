@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..patterns.ppg import Kernel
 from .config import ImplConfig
@@ -34,6 +34,7 @@ __all__ = [
     "ModelEvalCache",
     "kernel_signature",
     "evaluate_cached",
+    "evaluate_many_cached",
     "cache_stats",
     "clear_model_cache",
     "model_cache",
@@ -151,6 +152,110 @@ class ModelEvalCache:
             self._entries[key] = entry
         return entry
 
+    # -- bulk access (vectorized DSE path) ------------------------------------
+
+    def get_many(
+        self, kernel: Kernel, spec, configs: Sequence[ImplConfig], batch: int = 1
+    ) -> Tuple[List[Optional[CachedEstimate]], List[int]]:
+        """Bulk lookup: cached entries plus the indices still to compute.
+
+        Counter semantics mirror a scalar :meth:`evaluate` loop exactly:
+        each config is looked up in order, and a *duplicate* of a miss
+        earlier in the same batch counts as a hit (the scalar loop would
+        find the entry its first occurrence stored).  Duplicate
+        positions are returned as ``None`` alongside the first
+        occurrence's index in ``miss_index``; :meth:`evaluate_many`
+        back-fills them once the misses are computed.
+        """
+        sig = self._signature_of(kernel)
+        name = spec.name
+        results: List[Optional[CachedEstimate]] = [None] * len(configs)
+        miss_index: List[int] = []
+        hits = misses = 0
+        with self._lock:
+            pending = set()
+            for i, config in enumerate(configs):
+                key = (sig, name, config, batch)
+                entry = self._entries.get(key)
+                if entry is not None:
+                    results[i] = entry
+                    hits += 1
+                elif key in pending:
+                    hits += 1
+                else:
+                    pending.add(key)
+                    miss_index.append(i)
+                    misses += 1
+            self.hits += hits
+            self.misses += misses
+            if self._metrics is not None:
+                self._metrics[0].inc(hits)
+                self._metrics[1].inc(misses)
+        return results, miss_index
+
+    def put_many(
+        self,
+        kernel: Kernel,
+        spec,
+        configs: Sequence[ImplConfig],
+        entries: Sequence[CachedEstimate],
+        batch: int = 1,
+    ) -> None:
+        """Bulk store of computed entries (no counter changes, like the
+        store half of :meth:`evaluate`)."""
+        if len(configs) != len(entries):
+            raise ValueError("configs and entries must have equal length")
+        sig = self._signature_of(kernel)
+        name = spec.name
+        with self._lock:
+            for config, entry in zip(configs, entries):
+                self._entries[(sig, name, config, batch)] = entry
+
+    def evaluate_many(
+        self, kernel: Kernel, spec, configs: Sequence[ImplConfig], batch: int = 1
+    ) -> List[CachedEstimate]:
+        """Bulk memoized evaluation: one vectorized model call per batch.
+
+        Splits ``configs`` into cached and uncached via :meth:`get_many`,
+        evaluates all misses in a single
+        :meth:`~repro.hardware.gpu_model.GPUModel.estimate_batch` /
+        :meth:`~repro.hardware.fpga_model.FPGAModel.estimate_batch`
+        call (float-identical to the scalar path), and stores the new
+        entries.  Counters and returned estimates are exactly those a
+        scalar :meth:`evaluate` loop would produce.
+        """
+        results, miss_index = self.get_many(kernel, spec, configs, batch)
+        if miss_index:
+            miss_configs = [configs[i] for i in miss_index]
+            if spec.device_type == DeviceType.FPGA:
+                feasible, lat, power = FPGAModel(spec).estimate_batch(
+                    kernel, miss_configs, batch
+                )
+                entries = [
+                    CachedEstimate(bool(f), float(l), float(p))
+                    for f, l, p in zip(feasible, lat, power)
+                ]
+            else:
+                lat, power = GPUModel(spec).estimate_batch(
+                    kernel, miss_configs, batch
+                )
+                entries = [
+                    CachedEstimate(True, float(l), float(p))
+                    for l, p in zip(lat, power)
+                ]
+            self.put_many(kernel, spec, miss_configs, entries, batch)
+            for i, entry in zip(miss_index, entries):
+                results[i] = entry
+        if any(r is None for r in results):
+            # In-batch duplicates of a miss: resolve from the now-filled
+            # table.
+            sig = self._signature_of(kernel)
+            with self._lock:
+                for i, r in enumerate(results):
+                    if r is None:
+                        results[i] = self._entries[(sig, spec.name, configs[i], batch)]
+        return results  # type: ignore[return-value]
+
     # -- parallel write-back -------------------------------------------------
 
     def known_keys(self) -> set:
@@ -248,6 +353,13 @@ def evaluate_cached(
 ) -> CachedEstimate:
     """Evaluate one (kernel, spec, config) candidate via the shared cache."""
     return model_cache.evaluate(kernel, spec, config, batch)
+
+
+def evaluate_many_cached(
+    kernel: Kernel, spec, configs: Sequence[ImplConfig], batch: int = 1
+) -> List[CachedEstimate]:
+    """Bulk-evaluate candidates via the shared cache (vectorized misses)."""
+    return model_cache.evaluate_many(kernel, spec, configs, batch)
 
 
 def cache_stats() -> Dict[str, float]:

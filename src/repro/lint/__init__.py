@@ -5,7 +5,8 @@ A rule-registry lint engine over Poly's three layers:
 * **pattern layer** — PPG edge shape/dtype compatibility, scatter-write
   hazards, fusion legality, orphans and cycles (``PPG00x`` rules);
 * **optimization layer** — Table-I knob applicability, FPGA resource
-  budgets, degenerate work-group sizes (``OPT00x`` rules);
+  budgets, degenerate work-group sizes, design-space/evaluation
+  budgets and guided-search hygiene (``OPT00x`` rules);
 * **runtime layer** — kernel-graph legality, QoS-feasibility lower
   bounds, device-pool implementation coverage (``RT00x`` rules).
 

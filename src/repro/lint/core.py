@@ -130,6 +130,10 @@ class LintContext:
     #: Per-(kernel, device) cap on enumerated configs before pruning
     #: (OPT004); ``None`` uses the rule's default budget.
     config_budget: Optional[int] = None
+    #: Guided-search configuration (:class:`~repro.optim.search.SearchConfig`)
+    #: when the DSE runs with ``strategy="guided"``; switches OPT004 to
+    #: budgeting model evaluations instead of enumerated configs.
+    search: Optional[Any] = None
 
     def prefix(self, location: str) -> str:
         return f"{self.app_name}/{location}" if self.app_name else location

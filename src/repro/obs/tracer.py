@@ -58,6 +58,11 @@ __all__ = [
 #:   launches/terminations, and per-interval autoscaler evaluations.
 #: * ``slo.*``     — SLO evaluation over the windowed rollups:
 #:   multi-window burn-rate alerts at their firing edge.
+#: * ``dse.*``     — guided design-space exploration: per-rung
+#:   successive-halving pool sizes, per-generation genetic progress,
+#:   and the per-(kernel, platform) search summary.  Emitted by the
+#:   *parent* process from worker-returned stats, so the trace is
+#:   identical across ``n_jobs``.
 EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "request.admit": ("req", "priority"),
     "request.shed": ("req",),
@@ -93,6 +98,25 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "cluster.terminate": ("node", "reason"),
     "cluster.scale": ("n_nodes", "demand_rps", "utilization"),
     "slo.alert": ("slo", "series", "burn_fast", "burn_slow", "objective"),
+    "dse.search.rung": ("kernel", "platform", "rung", "pool", "kept"),
+    "dse.search.generation": (
+        "kernel",
+        "platform",
+        "generation",
+        "evaluations",
+        "front_points",
+        "hypervolume",
+    ),
+    "dse.search.done": (
+        "kernel",
+        "platform",
+        "strategy",
+        "explored",
+        "pruned_invalid",
+        "skipped",
+        "evaluations",
+        "generations",
+    ),
 }
 
 

@@ -11,13 +11,28 @@ from .dse import enumerate_configs, explore_application, explore_kernel, resolve
 from .global_opt import FusionDecision, GlobalOptimizer, GlobalPlan
 from .knobs import applicable_knobs, knob_candidates
 from .local_opt import LocalOptimizer, LocalPlan
-from .pareto import ParetoFrontier, dominated_fraction, hypervolume_2d, pareto_front
+from .pareto import (
+    IncrementalHypervolume,
+    ParetoFrontier,
+    dominated_fraction,
+    hypervolume_2d,
+    pareto_front,
+)
+from .search import (
+    GenerationStats,
+    RungStats,
+    SearchConfig,
+    SearchStats,
+    explore_kernel_guided,
+    space_hypervolume,
+)
 
 __all__ = [
     "DesignPoint",
     "KernelDesignSpace",
     "explore_kernel",
     "explore_application",
+    "explore_kernel_guided",
     "enumerate_configs",
     "resolve_n_jobs",
     "LocalOptimizer",
@@ -28,7 +43,13 @@ __all__ = [
     "knob_candidates",
     "applicable_knobs",
     "ParetoFrontier",
+    "IncrementalHypervolume",
     "pareto_front",
     "dominated_fraction",
     "hypervolume_2d",
+    "SearchConfig",
+    "SearchStats",
+    "RungStats",
+    "GenerationStats",
+    "space_hypervolume",
 ]

@@ -88,6 +88,9 @@ class KernelDesignSpace:
         #: Number of enumerated configs the lint validation gate dropped
         #: before model evaluation (``explore_kernel(validate=True)``).
         self.pruned_invalid = pruned_invalid
+        #: :class:`~repro.optim.search.SearchStats` when this space was
+        #: produced by the guided explorer; ``None`` on exhaustive paths.
+        self.search_stats = None
         # Re-index points so labels are stable.
         self.points: List[DesignPoint] = [
             DesignPoint(

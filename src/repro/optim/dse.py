@@ -29,7 +29,7 @@ import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware import ImplConfig
-from ..hardware.model_cache import evaluate_cached, model_cache
+from ..hardware.model_cache import model_cache
 from ..hardware.specs import DeviceType
 from ..patterns.ppg import Kernel
 from .design_point import DesignPoint, KernelDesignSpace
@@ -44,24 +44,45 @@ __all__ = [
 ]
 
 
-def enumerate_configs(kernel: Kernel, spec) -> List[ImplConfig]:
+def _knob_space(
+    kernel: Kernel, spec, overrides: Optional[Dict[str, Sequence]] = None
+) -> Tuple[Dict[str, Tuple], Dict[str, object], Tuple[bool, ...]]:
+    """Per-knob candidate values, forced assignments and fusion options.
+
+    The shared substrate of exhaustive enumeration and the guided
+    search's genome.  ``overrides`` replaces the candidate list of
+    knobs already present in the plan (names the local pass pruned away
+    or never enabled are ignored) — the hook the bench harness uses to
+    synthetically enlarge the space.
+    """
+    local = LocalOptimizer(spec.device_type).plan(kernel)
+    global_plan = GlobalOptimizer(spec).plan(kernel)
+    candidates: Dict[str, Tuple] = dict(local.candidates)
+    if overrides:
+        for name, values in overrides.items():
+            if name in candidates:
+                candidates[name] = tuple(values)
+    fused_options = (False, True) if global_plan.worthwhile else (False,)
+    return candidates, dict(local.forced), fused_options
+
+
+def enumerate_configs(
+    kernel: Kernel, spec, overrides: Optional[Dict[str, Sequence]] = None
+) -> List[ImplConfig]:
     """Enumerate candidate implementations after local+global pruning.
 
     The local pass supplies per-knob candidates and forced values; the
     global pass decides whether a fused variant is worth exploring
     (doubling the space when it is).
     """
-    local = LocalOptimizer(spec.device_type).plan(kernel)
-    global_plan = GlobalOptimizer(spec).plan(kernel)
-
-    fused_options = (False, True) if global_plan.worthwhile else (False,)
-    names = sorted(local.candidates)
-    value_lists = [local.candidates[n] for n in names]
+    candidates, forced, fused_options = _knob_space(kernel, spec, overrides)
+    names = sorted(candidates)
+    value_lists = [candidates[n] for n in names]
 
     configs: List[ImplConfig] = []
     for values in itertools.product(*value_lists):
         assignment = dict(zip(names, values))
-        assignment.update(local.forced)
+        assignment.update(forced)
         for fused in fused_options:
             configs.append(ImplConfig(fused=fused, **assignment))
     return configs
@@ -95,12 +116,12 @@ def _evaluate(
     """Run the analytical model over the candidates, dropping infeasible
     FPGA points (designs that do not place on the part).
 
-    Evaluations go through the shared model cache: identical
-    (kernel, platform, config) triples are computed once per process.
+    Evaluations go through the shared model cache's bulk path: cached
+    entries are looked up in one pass and the misses are computed in a
+    single vectorized model call (float-identical to the scalar path).
     """
     points: List[DesignPoint] = []
-    for config in configs:
-        est = evaluate_cached(kernel, spec, config)
+    for config, est in zip(configs, model_cache.evaluate_many(kernel, spec, configs)):
         if not est.feasible:
             continue
         points.append(
@@ -155,6 +176,7 @@ def explore_kernel(
     spec,
     target_points: Optional[int] = None,
     validate: bool = False,
+    candidate_overrides: Optional[Dict[str, Sequence]] = None,
 ) -> KernelDesignSpace:
     """Explore one kernel on one platform; returns its design space.
 
@@ -174,7 +196,7 @@ def explore_kernel(
         run_lint(kernel, LintContext(spec=spec)).raise_if_errors(
             f"kernel {kernel.name!r}"
         )
-    configs = enumerate_configs(kernel, spec)
+    configs = enumerate_configs(kernel, spec, overrides=candidate_overrides)
     if validate:
         kept, _report = prune_invalid_configs(kernel, spec, configs)
         pruned = len(configs) - len(kept)
@@ -191,20 +213,61 @@ def explore_kernel(
     )
 
 
-def _explore_task(task: Tuple[Kernel, object, Optional[int], bool]) -> Tuple:
+def _explore_one(
+    kernel: Kernel,
+    spec,
+    target: Optional[int],
+    validate: bool,
+    strategy: str,
+    search,
+    overrides: Optional[Dict[str, Sequence]],
+) -> Tuple[KernelDesignSpace, Optional["SearchStats"]]:
+    """One (kernel, platform) exploration under either strategy.
+
+    Returns the space plus the guided-search stats (``None`` on the
+    exhaustive path) so callers — serial loop and pool workers alike —
+    report identically.
+    """
+    if strategy == "guided":
+        from .search import explore_kernel_guided
+
+        return explore_kernel_guided(
+            kernel,
+            spec,
+            search=search,
+            target_points=target,
+            validate=validate,
+            candidate_overrides=overrides,
+        )
+    if strategy != "exhaustive":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    space = explore_kernel(
+        kernel,
+        spec,
+        target_points=target,
+        validate=validate,
+        candidate_overrides=overrides,
+    )
+    return space, None
+
+
+def _explore_task(task: Tuple) -> Tuple:
     """Worker entry: one (kernel, platform) exploration (picklable).
 
-    Returns the space plus the model-cache delta (new entries, hit/miss
-    counts) this exploration produced: a forked worker inherits the
-    parent's cache copy-on-write, but its additions die with the
-    process unless the parent writes them back.
+    Returns the space and search stats plus the model-cache delta (new
+    entries, hit/miss counts) this exploration produced: a forked
+    worker inherits the parent's cache copy-on-write, but its additions
+    die with the process unless the parent writes them back.
     """
-    kernel, spec, target, validate = task
+    kernel, spec, target, validate, strategy, search, overrides = task
     known = model_cache.known_keys()
     hits, misses = model_cache.hits, model_cache.misses
-    space = explore_kernel(kernel, spec, target_points=target, validate=validate)
+    space, stats = _explore_one(
+        kernel, spec, target, validate, strategy, search, overrides
+    )
     return (
         space,
+        stats,
         model_cache.delta(known),
         model_cache.hits - hits,
         model_cache.misses - misses,
@@ -220,12 +283,89 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+def _report_exploration(
+    spaces: Sequence[KernelDesignSpace],
+    stats_list: Sequence,
+    metrics,
+    tracer,
+) -> None:
+    """Parent-side metrics/trace reporting, identical across paths.
+
+    Runs after the serial loop, the process pool and the guided search
+    alike, over worker-returned data — so counters (including
+    ``dse_pruned_invalid_total``) and ``dse.search.*`` events do not
+    depend on ``n_jobs`` or the strategy taken.
+    """
+    if metrics is not None:
+        points_c = metrics.counter("dse_design_points_total")
+        pruned_c = metrics.counter("dse_pruned_invalid_total")
+        for space in spaces:
+            points_c.inc(len(space))
+            pruned_c.inc(space.pruned_invalid)
+        search_stats = [s for s in stats_list if s is not None]
+        if search_stats:
+            evals_c = metrics.counter("dse_search_evaluations_total")
+            explored_c = metrics.counter("dse_search_explored_total")
+            skipped_c = metrics.counter("dse_search_skipped_total")
+            screened_c = metrics.counter("dse_search_screened_total")
+            gens_c = metrics.counter("dse_search_generations_total")
+            for s in search_stats:
+                evals_c.inc(s.evaluations)
+                explored_c.inc(s.explored)
+                skipped_c.inc(s.skipped)
+                screened_c.inc(s.screened_infeasible)
+                gens_c.inc(s.generations)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        for stats in stats_list:
+            if stats is None:
+                continue
+            label = f"{stats.kernel_name}@{stats.platform}"
+            for r in stats.rungs:
+                tracer.emit(
+                    "dse.search.rung",
+                    name=label,
+                    kernel=stats.kernel_name,
+                    platform=stats.platform,
+                    rung=r.rung,
+                    pool=r.pool,
+                    kept=r.kept,
+                )
+            for g in stats.generation_log:
+                tracer.emit(
+                    "dse.search.generation",
+                    name=label,
+                    kernel=stats.kernel_name,
+                    platform=stats.platform,
+                    generation=g.generation,
+                    evaluations=g.evaluations,
+                    front_points=g.front_points,
+                    hypervolume=g.hypervolume,
+                )
+            tracer.emit(
+                "dse.search.done",
+                name=label,
+                kernel=stats.kernel_name,
+                platform=stats.platform,
+                strategy=stats.strategy,
+                explored=stats.explored,
+                pruned_invalid=stats.pruned_invalid,
+                skipped=stats.skipped,
+                evaluations=stats.evaluations,
+                generations=stats.generations,
+            )
+
+
 def explore_application(
     kernels: Sequence[Kernel],
     specs: Sequence,
     targets: Optional[Dict[Tuple[str, DeviceType], int]] = None,
     validate: bool = False,
     n_jobs: int = 1,
+    strategy: str = "exhaustive",
+    search=None,
+    metrics=None,
+    tracer=None,
+    candidate_overrides: Optional[Dict[str, Sequence]] = None,
 ) -> Dict[Tuple[str, str], KernelDesignSpace]:
     """Explore every kernel of an application on every platform.
 
@@ -234,35 +374,58 @@ def explore_application(
     ``validate`` gates each per-kernel exploration through the lint
     rules (see :func:`explore_kernel`).
 
+    ``strategy`` selects the explorer: ``"exhaustive"`` enumerates and
+    evaluates the whole pruned space; ``"guided"`` runs the
+    successive-halving + genetic search of :mod:`repro.optim.search`
+    under ``search`` (a :class:`~repro.optim.search.SearchConfig`,
+    defaulted when omitted), attaching per-space ``search_stats``.
+
     ``n_jobs`` fans the independent (kernel, platform) explorations out
     over a process pool (``-1`` = all CPUs).  Each exploration is
-    deterministic and self-contained, so any worker count produces a
+    deterministic and self-contained — the guided search's RNG is keyed
+    per (seed, kernel, platform) — so any worker count produces a
     product bit-identical to the serial ``n_jobs=1`` path; result
     ordering is fixed by the (kernels x specs) enumeration, never by
     worker completion order.
+
+    ``metrics`` (a ``MetricsRegistry``) and ``tracer`` (a ``SpanTracer``)
+    receive exploration counters and ``dse.search.*`` events; both are
+    driven from the parent process over worker-returned stats, so the
+    reported numbers are identical across worker counts.
     """
-    tasks: List[Tuple[Kernel, object, Optional[int], bool]] = []
+    if strategy not in ("exhaustive", "guided"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if strategy == "guided" and search is None:
+        from .search import SearchConfig
+
+        search = SearchConfig()
+    tasks: List[Tuple] = []
     keys: List[Tuple[str, str]] = []
     for kernel in kernels:
         for spec in specs:
             target = None
             if targets is not None:
                 target = targets.get((kernel.name, spec.device_type))
-            tasks.append((kernel, spec, target, validate))
+            tasks.append(
+                (kernel, spec, target, validate, strategy, search, candidate_overrides)
+            )
             keys.append((kernel.name, spec.name))
 
     workers = min(resolve_n_jobs(n_jobs), max(len(tasks), 1))
     results: List[KernelDesignSpace] = []
+    stats_list: List = []
     if workers <= 1 or len(tasks) <= 1:
-        results = [
-            explore_kernel(kernel, spec, target_points=target, validate=val)
-            for kernel, spec, target, val in tasks
-        ]
+        for task in tasks:
+            space, stats = _explore_one(*task)
+            results.append(space)
+            stats_list.append(stats)
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for space, entries, hits, misses in pool.map(_explore_task, tasks):
+            for space, stats, entries, hits, misses in pool.map(_explore_task, tasks):
                 model_cache.merge(entries, hits, misses)
                 results.append(space)
+                stats_list.append(stats)
+    _report_exploration(results, stats_list, metrics, tracer)
     return dict(zip(keys, results))

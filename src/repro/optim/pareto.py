@@ -22,6 +22,7 @@ T = TypeVar("T")
 
 __all__ = [
     "ParetoFrontier",
+    "IncrementalHypervolume",
     "pareto_front",
     "dominated_fraction",
     "hypervolume_2d",
@@ -79,6 +80,25 @@ class ParetoFrontier(Generic[T]):
         """``(f1, f2)`` pairs of the frontier, ascending in ``f1``."""
         return list(zip(self._f1, self._f2))
 
+    def hypervolume(self, reference: Tuple[float, float]) -> float:
+        """Area dominated by the frontier up to ``reference``.
+
+        Single O(n) sweep over the sorted invariant: ``_f1`` is strictly
+        ascending and ``_f2`` strictly descending, so each point adds a
+        disjoint rectangle ``(rx - f1) * (prev_y - f2)``.  Points beyond
+        the reference in either objective contribute nothing.
+        """
+        rx, ry = reference
+        area = 0.0
+        prev_y = ry
+        for x, y in zip(self._f1, self._f2):
+            if x > rx or y > ry:
+                continue
+            if prev_y > y:
+                area += (rx - x) * (prev_y - y)
+                prev_y = y
+        return area
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -87,6 +107,41 @@ class ParetoFrontier(Generic[T]):
 
     def __repr__(self) -> str:
         return f"<ParetoFrontier: {len(self)} points>"
+
+
+class IncrementalHypervolume(Generic[T]):
+    """Hypervolume tracker over a streaming :class:`ParetoFrontier`.
+
+    Used by the guided search to detect quality stalls: each ``insert``
+    offers a point to the wrapped frontier and returns the hypervolume
+    *gain* it produced.  Dominated offers are rejected in O(log n)
+    without touching the area; accepted offers trigger one O(n) re-sweep
+    of the (small) frontier, which for DSE-sized fronts is cheaper and
+    simpler than maintaining per-point area deltas under eviction.
+    """
+
+    def __init__(self, reference: Tuple[float, float]) -> None:
+        rx, ry = reference
+        self.reference: Tuple[float, float] = (float(rx), float(ry))
+        self.frontier: ParetoFrontier[T] = ParetoFrontier()
+        self._area = 0.0
+
+    @property
+    def area(self) -> float:
+        """Current dominated area up to the reference point."""
+        return self._area
+
+    def insert(self, item: T, f1: float, f2: float) -> float:
+        """Offer a point; returns the hypervolume gained (0.0 if rejected)."""
+        if not self.frontier.insert(item, f1, f2):
+            return 0.0
+        new_area = self.frontier.hypervolume(self.reference)
+        gain = new_area - self._area
+        self._area = new_area
+        return gain
+
+    def __len__(self) -> int:
+        return len(self.frontier)
 
 
 def pareto_front(

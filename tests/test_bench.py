@@ -64,6 +64,13 @@ OBS_SAMPLING_KEYS = {
     "head_rate", "kept_events", "total_events", "kept_requests",
     "dropped_spans",
 }
+DSE_SEARCH_KEYS = {
+    "trial_s", "median_s", "cold_s", "exhaustive_trial_s",
+    "exhaustive_median_s", "pair_speedups", "speedup", "explored",
+    "exhaustive_evaluations", "guided_evaluations", "eval_ratio",
+    "hypervolume_ratio", "hypervolume_ratio_mean", "front_identical",
+    "max_evals", "seed",
+}
 
 
 @pytest.fixture(scope="module")
@@ -82,7 +89,7 @@ class TestSchema:
         row = mf_doc["apps"]["MF"]
         assert set(row) == {
             "dse", "scheduler", "simulation", "sched", "sim", "cluster",
-            "obs",
+            "obs", "dse_search",
         }
         assert set(row["dse"]) == DSE_KEYS
         assert set(row["dse"]["cache"]) == CACHE_KEYS
@@ -101,6 +108,7 @@ class TestSchema:
             assert set(load) == OBS_LOAD_KEYS
             assert set(load["sampling"]) == OBS_SAMPLING_KEYS
             assert load["identical"] is True
+        assert set(row["dse_search"]) == DSE_SEARCH_KEYS
 
     def test_trial_counts_and_medians(self, mf_doc):
         row = mf_doc["apps"]["MF"]
@@ -236,6 +244,18 @@ class TestCheckedInBaseline:
         for app, row in doc["apps"].items():
             assert {"median_s", "cold_s", "speedup"} <= set(row["obs"]), app
 
+    def test_baseline_gates_dse_search_sections(self):
+        """The guided-search sections must carry the gated timing plus
+        the recorded quality bar: exact front parity and >=0.99
+        hypervolume ratio on every app."""
+        doc = load_bench_json(BASELINE_PATH)
+        for app, row in doc["apps"].items():
+            sec = row["dse_search"]
+            assert {"median_s", "cold_s", "speedup"} <= set(sec), app
+            assert sec["front_identical"] is True, app
+            assert sec["hypervolume_ratio"] >= 0.99, app
+            assert sec["eval_ratio"] >= 5.0, app
+
 
 class TestSchedSuite:
     def test_sched_suite_runs_only_sched(self):
@@ -347,6 +367,62 @@ class TestObsSuite:
         assert cli_main(args + ["--min-obs-retention", "1e9"]) == 1
         assert cli_main(args + ["--min-obs-retention", "0.0"]) == 0
         assert load_bench_json(out)["suite"] == "obs"
+
+
+class TestDseSuite:
+    def test_dse_suite_runs_only_dse_search(self):
+        doc = run_bench(app_names=["MF"], trials=1, label="d", suite="dse")
+        assert doc["suite"] == "dse"
+        row = doc["apps"]["MF"]
+        assert set(row) == {"dse_search"}
+        sec = row["dse_search"]
+        assert set(sec) == DSE_SEARCH_KEYS
+        # The quality bar the CI job gates: exact parity on the real
+        # space, >=0.99 hypervolume on the enlarged one, a real budget.
+        assert sec["front_identical"] is True
+        assert sec["hypervolume_ratio"] >= 0.99
+        assert sec["guided_evaluations"] < sec["exhaustive_evaluations"]
+        assert sec["eval_ratio"] >= 5.0
+        assert len(sec["pair_speedups"]) == 1
+
+    def test_dse_search_section_in_full_suite(self, mf_doc):
+        sec = mf_doc["apps"]["MF"]["dse_search"]
+        assert len(sec["pair_speedups"]) == 2
+        assert sec["speedup"] > 0
+        assert sec["max_evals"] > 0
+
+    def test_render_includes_dse_search_line(self, mf_doc):
+        assert "dse-srch" in render_bench(mf_doc)
+
+    def test_gate_covers_dse_search_section(self, mf_doc):
+        slow = copy.deepcopy(mf_doc)
+        sec = slow["apps"]["MF"]["dse_search"]
+        sec["median_s"] *= 5.0
+        sec["cold_s"] *= 5.0
+        comparison = compare_to_baseline(slow, mf_doc, max_ratio=2.0)
+        assert not comparison.ok
+        assert any("MF/dse_search" in r for r in comparison.regressions)
+
+    def test_cli_min_dse_speedup_gate(self, tmp_path):
+        out = tmp_path / "BENCH_d.json"
+        args = [
+            "bench", "--app", "mf", "--suite", "dse", "--trials", "1",
+            "--label", "d", "--out", str(out),
+        ]
+        assert cli_main(args + ["--min-dse-speedup", "1e9"]) == 1
+        assert cli_main(args + ["--min-dse-speedup", "0.0"]) == 0
+        assert load_bench_json(out)["suite"] == "dse"
+
+    def test_cli_min_hypervolume_ratio_gate(self, tmp_path):
+        out = tmp_path / "BENCH_d.json"
+        args = [
+            "bench", "--app", "mf", "--suite", "dse", "--trials", "1",
+            "--label", "d", "--out", str(out),
+        ]
+        # The ratio is capped at 1.0 by construction, so a >1 gate must
+        # fail and the recorded 0.99 bar must pass (deterministic).
+        assert cli_main(args + ["--min-hypervolume-ratio", "1.01"]) == 1
+        assert cli_main(args + ["--min-hypervolume-ratio", "0.99"]) == 0
 
 
 class TestClusterSuite:
